@@ -1,0 +1,32 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one table or figure of the paper.  Besides
+pytest-benchmark's timing table, each target writes its experiment output
+(the actual rows/series the paper reports) to ``results/<name>.txt`` and
+echoes it to the terminal, so the reproduced data survives even when
+stdout is captured.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture
+def report(request, capsys):
+    """Write an experiment's rendered output to results/ and echo it."""
+
+    def emit(text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        name = request.node.name.replace("/", "_")
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        with capsys.disabled():
+            print(f"\n===== {name} =====")
+            print(text)
+
+    return emit

@@ -1,0 +1,67 @@
+"""Extension: write-aware index selection.
+
+The paper's workloads are read-only; real systems also pay to *maintain*
+every materialized index on insert.  This extension charges a forecasted
+maintenance cost (observed per-table write rate × per-tuple maintenance
+cost) against NetBenefit, at the same exchange rate as the build cost.
+
+The benchmark runs the same read workload against one table under
+increasing insert volume and reports where COLT stops considering the
+index worth its upkeep -- with total-cost evidence that the decision is
+right on both sides of the threshold.
+"""
+
+from repro.core.colt import ColtTuner
+from repro.core.config import ColtConfig
+from repro.workload.datagen import build_catalog
+from repro.workload.experiments import stable_distribution
+from repro.workload.phases import stable_workload
+
+BUDGET_PAGES = 9_000.0
+QUERIES = 250
+WRITE_LEVELS = (0, 500, 5_000)  # inserts into lineitem_1 per query
+
+
+def _run(writes_per_query: int):
+    catalog = build_catalog()
+    workload = stable_workload(stable_distribution(), QUERIES, catalog, seed=1)
+    tuner = ColtTuner(
+        catalog, ColtConfig(storage_budget_pages=BUDGET_PAGES, min_history_epochs=2)
+    )
+    total = 0.0
+    for query in workload.queries:
+        total += tuner.process_query(query).total_cost
+        if writes_per_query:
+            total += tuner.process_insert(
+                "lineitem_1", count=writes_per_query
+            ).total_cost
+    lineitem_indexes = [
+        ix for ix in tuner.materialized_set if ix.table == "lineitem_1"
+    ]
+    return total, lineitem_indexes, tuner.materialized_set
+
+
+def test_ext_write_aware(benchmark, report):
+    def run_all():
+        return {w: _run(w) for w in WRITE_LEVELS}
+
+    results = benchmark.pedantic(run_all, rounds=1)
+
+    lines = [
+        f"write-aware extension ({QUERIES} read queries; inserts into lineitem_1)",
+        f"{'inserts/query':>14} {'total cost':>16} {'lineitem_1 indexes':>20} {'|M|':>4}",
+    ]
+    for writes, (total, li_indexes, m) in results.items():
+        lines.append(
+            f"{writes:>14} {total:>16,.0f} {len(li_indexes):>20} {len(m):>4}"
+        )
+    report("\n".join(lines))
+
+    _, read_only_li, read_only_m = results[0]
+    _, heavy_li, heavy_m = results[5_000]
+    # Read-only: lineitem_1 indexes are worth it.
+    assert read_only_li
+    # Write-heavy: maintenance dwarfs the benefit; lineitem_1 carries no
+    # index, while indexes on read-only tables survive.
+    assert not heavy_li
+    assert heavy_m, "indexes on tables without writes must remain"

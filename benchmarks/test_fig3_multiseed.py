@@ -1,0 +1,53 @@
+"""Figure 3 across seeds: the variance behind the headline number.
+
+The paper reports a single stable-workload run ("negligible deviation of
+1%" after the first 100 queries).  A simulation can afford to show the
+distribution: this target re-runs the Figure 3 experiment across six
+workload seeds and prints the per-seed deviation table EXPERIMENTS.md
+cites, guarding the *distribution* (median and worst case), not just one
+lucky run.
+"""
+
+import statistics
+
+from repro.bench.figures import figure3_stable
+
+SEEDS = range(6)
+
+
+def test_fig3_multiseed(benchmark, report):
+    def run_all():
+        return {seed: figure3_stable(seed=seed) for seed in SEEDS}
+
+    results = benchmark.pedantic(run_all, rounds=1)
+
+    rows = []
+    for seed, result in results.items():
+        deviation = -result.reduction_percent(100)
+        overlap = len(
+            set(result.colt.final_materialized)
+            & set(result.offline.result.indexes)
+        )
+        rows.append((seed, deviation, result.total_ratio, overlap,
+                     len(result.offline.result.indexes)))
+
+    deviations = [r[1] for r in rows]
+    lines = [
+        "Figure 3 across seeds (deviation from OFFLINE after query 100)",
+        f"{'seed':>5} {'deviation':>10} {'run ratio':>10} {'M overlap':>10}",
+    ]
+    for seed, dev, ratio, overlap, off_n in rows:
+        lines.append(f"{seed:>5} {dev:>9.1f}% {ratio:>10.3f} {overlap:>6}/{off_n}")
+    lines.append(
+        f"median {statistics.median(deviations):.1f}%, "
+        f"mean {statistics.mean(deviations):.1f}%, "
+        f"worst {max(deviations):.1f}% (paper single run: ~1%)"
+    )
+    report("\n".join(lines))
+
+    # Distribution guards: typical runs converge close to OFFLINE...
+    assert statistics.median(deviations) < 8.0
+    # ...and even the worst seed stays within a bounded band.
+    assert max(deviations) < 20.0
+    # COLT always recovers a good chunk of the optimal configuration.
+    assert all(overlap >= 2 for _, _, _, overlap, _ in rows)

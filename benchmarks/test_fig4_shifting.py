@@ -1,0 +1,32 @@
+"""Figure 4: on-line tuning for a shifting workload.
+
+Paper shape: four 300-query phases with 50-query gradual transitions
+(1,350 queries).  COLT beats OFFLINE on the majority of 50-query bars;
+the paper reports a 33% total reduction and 49% within phase 2.
+"""
+
+from repro.bench.figures import figure4_shifting
+
+
+def test_fig4_shifting_workload(benchmark, report):
+    result = benchmark.pedantic(figure4_shifting, rounds=1)
+    overall = result.reduction_percent()
+    phase2 = result.reduction_percent(350, 650)
+    lines = [
+        result.to_text(),
+        "",
+        f"overall reduction vs OFFLINE: {overall:.1f}% (paper: 33%)",
+        f"phase-2 reduction (queries 350-650): {phase2:.1f}% (paper: 49%)",
+    ]
+    report("\n".join(lines))
+
+    # Shape checks: COLT wins overall, by tens of percent...
+    assert result.colt.total_cost < result.offline.total_cost
+    assert overall > 15.0
+    # ...and wins the majority of bars.
+    colt_wins = sum(
+        1 for c, o in zip(result.colt_bars, result.offline_bars) if c < o
+    )
+    assert colt_wins > len(result.colt_bars) / 2
+    # Phase 2 (deep inside a phase OFFLINE averaged away) is a big win.
+    assert phase2 > 15.0

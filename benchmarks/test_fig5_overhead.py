@@ -1,0 +1,45 @@
+"""Figure 5: self-regulating profiling overhead.
+
+Paper shape: charting what-if calls per epoch over the Figure 4 run
+shows four discernible peaks coinciding with the distribution
+transitions; away from the peaks COLT uses less than half of its
+``#WI_max = 20`` budget, and overall profiles only a small fraction
+(~11%) of the relevant indexes.
+"""
+
+import statistics
+
+from repro.bench.figures import figure5_overhead
+
+# Epochs considered "near" a transition: the transition epoch itself and
+# the adaptation window right after it.
+PEAK_WINDOW = 5
+
+
+def test_fig5_overhead(benchmark, report):
+    result = benchmark.pedantic(figure5_overhead, rounds=1)
+
+    near = set()
+    for boundary in result.phase_boundaries_epochs:
+        near.update(range(max(0, boundary - 1), boundary + PEAK_WINDOW))
+    w = result.whatif_per_epoch
+    near_values = [w[i] for i in sorted(near) if i < len(w)]
+    far_values = [w[i] for i in range(len(w)) if i not in near]
+
+    lines = [
+        result.to_text(),
+        "",
+        f"mean calls near transitions: {statistics.mean(near_values):.2f}",
+        f"mean calls elsewhere:        {statistics.mean(far_values):.2f}",
+        f"peak usage: {max(w)} of {result.max_per_epoch} per epoch",
+    ]
+    report("\n".join(lines))
+
+    # Shape checks: budget cap honoured everywhere.
+    assert max(w) <= result.max_per_epoch
+    # Profiling intensifies at transitions...
+    assert statistics.mean(near_values) > 1.5 * statistics.mean(far_values)
+    # ...and averages below half the budget away from them.
+    assert statistics.mean(far_values) < result.max_per_epoch / 2
+    # Only a fraction of the relevant indexes is ever profiled.
+    assert result.profiled_fraction < 0.5

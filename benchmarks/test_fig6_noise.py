@@ -1,0 +1,33 @@
+"""Figure 6: resilience to bursts of noise.
+
+Paper shape: with noise bursts injected into a stable base workload
+(noise = 20% of queries, OFFLINE tuned on the base distribution only,
+first 100 queries excluded), the COLT/OFFLINE time ratio is ~1 for
+short bursts (<= 20 queries: COLT ignores them) and for long bursts
+(>= 70: COLT re-tunes early enough to profit), with a worst band at
+30-60 queries (average 18% loss) where COLT materializes the noise
+indexes just as the burst ends.
+"""
+
+from repro.bench.figures import figure6_noise
+
+
+def test_fig6_noise(benchmark, report):
+    result = benchmark.pedantic(figure6_noise, rounds=1)
+    ratios = {p.burst_length: p.ratio for p in result.points}
+    mid_band = [ratios[b] for b in (30, 40, 50, 60)]
+    mid_loss = (sum(mid_band) / len(mid_band) - 1.0) * 100.0
+    lines = [
+        result.to_text(),
+        "",
+        f"mid-band (30-60) average loss: {mid_loss:.1f}% (paper: 18%)",
+    ]
+    report("\n".join(lines))
+
+    # Short bursts: effectively ignored.
+    assert ratios[20] < 1.1
+    # Mid-range band is the worst case, visibly above short bursts.
+    assert max(mid_band) > ratios[20] + 0.05
+    assert mid_loss > 5.0
+    # Long bursts recover toward parity relative to the worst band.
+    assert ratios[90] < max(mid_band)

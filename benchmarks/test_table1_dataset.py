@@ -1,0 +1,21 @@
+"""Table 1: data set characteristics.
+
+Paper values: 1.4 GB, 32 tables, 6,928,120 tuples, largest 1,200,000,
+smallest 5, 244 indexable attributes.  Everything except the byte size
+(which depends on storage-format assumptions) reproduces exactly.
+"""
+
+from repro.bench.figures import table1_dataset
+
+
+def test_table1_dataset(benchmark, report):
+    result = benchmark(table1_dataset)
+    report(result.to_text())
+
+    s = result.summary
+    assert s.num_tables == 32
+    assert s.total_tuples == 6_928_120
+    assert s.max_table_tuples == 1_200_000
+    assert s.min_table_tuples == 5
+    assert s.indexable_attributes == 244
+    assert 0.8 <= s.size_bytes / 2**30 <= 1.6

@@ -1,0 +1,69 @@
+"""Noise resilience: steady reporting traffic with ad-hoc query bursts.
+
+A reporting dashboard issues a steady stream of well-understood queries;
+occasionally a user fires a burst of unrelated ad-hoc queries.  Should
+the tuner re-organize for the burst, or ride it out?  §6.2's noise
+experiment shows COLT ignores short bursts and re-tunes for long ones.
+
+The script sweeps the burst length and prints where each regime kicks
+in.
+
+Run with::
+
+    python examples/noisy_dashboard.py
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import run_colt, run_offline
+from repro.core import ColtConfig
+from repro.workload import build_catalog, noisy_workload
+from repro.workload.experiments import noise_distributions
+
+BUDGET_PAGES = 9_000.0
+WARMUP = 100
+
+
+def main() -> None:
+    base, noise = noise_distributions()
+    print(
+        "dashboard traffic (Q1) with ad-hoc bursts (Q2); "
+        "OFFLINE is tuned on Q1 only.\n"
+    )
+    print(f"{'burst length':>12} {'COLT/OFFLINE':>13} {'verdict':<30}")
+    for burst in (10, 20, 40, 60, 80):
+        catalog = build_catalog()
+        workload = noisy_workload(
+            base, noise, catalog, burst_length=burst, warmup=WARMUP, seed=0
+        )
+        q1_only = [
+            q for q, s in zip(workload.queries, workload.source) if s == base.name
+        ]
+        colt = run_colt(
+            build_catalog(),
+            workload.queries,
+            ColtConfig(storage_budget_pages=BUDGET_PAGES),
+        )
+        offline = run_offline(
+            build_catalog(), workload.queries, BUDGET_PAGES, tuning_workload=q1_only
+        )
+        ratio = sum(colt.total_costs[WARMUP:]) / sum(
+            offline.per_query_costs[WARMUP:]
+        )
+        if ratio < 1.05:
+            verdict = "noise ignored (resilient)"
+        elif ratio < 1.2:
+            verdict = "mild disruption"
+        else:
+            verdict = "re-tuned mid-burst (worst band)"
+        print(f"{burst:>12} {ratio:>13.3f} {verdict:<30}")
+
+    print(
+        "\nshort bursts are ignored; mid-length bursts fool the forecast "
+        "window (the paper's 30-60 band);\nlong bursts are worth re-tuning "
+        "for and the ratio falls back toward 1."
+    )
+
+
+if __name__ == "__main__":
+    main()

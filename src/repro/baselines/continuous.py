@@ -1,0 +1,203 @@
+"""A QUIET-style continuous on-line tuner (the prior-work model).
+
+The paper positions COLT against earlier on-line index tuners (QUIET
+[17], Cache Investment [13], Hammer & Chan [12]) that share a simple
+working model: watch the workload, estimate candidate index benefits
+through what-if optimization, and materialize an index once its
+*accumulated* observed benefit exceeds its build cost.  Crucially, these
+systems have **no mechanism to regulate what-if usage** -- they profile
+with the same intensity whether or not the system can be tuned any
+better, which is exactly the overhead problem COLT's re-budgeting
+solves.
+
+This module implements that model faithfully enough to serve as an
+experimental comparator:
+
+* every query triggers what-if calls for **all** relevant candidate
+  indexes (no budget, no sampling, no clustering);
+* per-index benefits accumulate with exponential decay (so old evidence
+  ages out and the tuner can adapt to shifts);
+* an index is materialized when its decayed accumulated benefit exceeds
+  ``adoption_factor`` times its build cost, subject to the storage
+  budget (evicting the lowest-credit indexes if needed);
+* a materialized index whose credit decays below ``retirement_factor``
+  times its build cost is dropped.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.engine.catalog import Catalog
+from repro.engine.index import IndexDef
+from repro.optimizer.optimizer import Optimizer
+from repro.optimizer.plan import PlanNode
+from repro.optimizer.whatif import WhatIfOptimizer
+from repro.sql.ast import Query
+
+IndexKey = Tuple[str, str]
+
+
+@dataclasses.dataclass(frozen=True)
+class ContinuousConfig:
+    """Parameters of the QUIET-style tuner.
+
+    Attributes:
+        storage_budget_pages: Storage budget shared with COLT runs.
+        decay: Per-query multiplicative decay of accumulated credit
+            (memory comparable to COLT's ``w * h`` queries at ~0.99).
+        adoption_factor: Multiple of the build cost the accumulated
+            credit must reach before materialization.
+        retirement_factor: Credit floor (as a multiple of build cost)
+            below which a materialized index is dropped.
+        whatif_call_cost: Ledger charge per what-if call (same unit as
+            ``ColtConfig.whatif_call_cost``).
+    """
+
+    storage_budget_pages: float = 9_000.0
+    decay: float = 0.99
+    adoption_factor: float = 1.0
+    retirement_factor: float = 0.1
+    whatif_call_cost: float = 10.0
+
+
+@dataclasses.dataclass
+class ContinuousOutcome:
+    """Ledger record for one query processed by the continuous tuner."""
+
+    index: int
+    execution_cost: float
+    whatif_calls: int
+    whatif_overhead: float
+    build_cost: float
+    total_cost: float
+    plan: PlanNode
+
+
+class ContinuousTuner:
+    """The unregulated continuous tuner (QUIET-style baseline)."""
+
+    def __init__(
+        self, catalog: Catalog, config: Optional[ContinuousConfig] = None
+    ) -> None:
+        self.catalog = catalog
+        self.config = config or ContinuousConfig()
+        self.optimizer = Optimizer(catalog)
+        self.whatif = WhatIfOptimizer(self.optimizer)
+        self._credit: Dict[IndexKey, float] = {}
+        self._queries = 0
+
+    @property
+    def materialized_set(self) -> List[IndexDef]:
+        """The currently materialized indexes."""
+        return sorted(self.catalog.materialized_indexes(), key=str)
+
+    # ------------------------------------------------------------------
+    def process_query(self, query: Query) -> ContinuousOutcome:
+        """Optimize, profile every relevant candidate, maybe materialize."""
+        session = self.whatif.begin_query(query)
+        calls_before = self.whatif.call_count
+
+        self._decay_credit()
+        candidates = self._relevant_candidates(query)
+        if candidates:
+            gains = self.whatif.what_if_optimize(session, candidates)
+            for index, gain in gains.items():
+                key = (index.table, index.column)
+                self._credit[key] = self._credit.get(key, 0.0) + max(0.0, gain)
+
+        build_cost = self._reorganize()
+
+        calls = self.whatif.call_count - calls_before
+        overhead = calls * self.config.whatif_call_cost
+        self._queries += 1
+        return ContinuousOutcome(
+            index=self._queries - 1,
+            execution_cost=session.base.cost,
+            whatif_calls=calls,
+            whatif_overhead=overhead,
+            build_cost=build_cost,
+            total_cost=session.base.cost + overhead + build_cost,
+            plan=session.base.plan,
+        )
+
+    def run(self, queries) -> List[ContinuousOutcome]:
+        """Process a sequence of queries."""
+        return [self.process_query(q) for q in queries]
+
+    # ------------------------------------------------------------------
+    def _relevant_candidates(self, query: Query) -> List[IndexDef]:
+        seen: Dict[IndexKey, IndexDef] = {}
+        for col in query.selection_columns() + query.join_columns():
+            if not self.catalog.table(col.table).column(col.column).indexable:
+                continue
+            key = (col.table, col.column)
+            if key not in seen:
+                seen[key] = self.catalog.index_for(col.table, col.column)
+        return list(seen.values())
+
+    def _decay_credit(self) -> None:
+        decay = self.config.decay
+        for key in list(self._credit):
+            self._credit[key] *= decay
+            if self._credit[key] < 1e-9:
+                del self._credit[key]
+
+    def _reorganize(self) -> float:
+        """Adopt over-threshold candidates; retire decayed incumbents."""
+        build_cost = 0.0
+
+        # Retirement first, freeing space.
+        for index in self.catalog.materialized_indexes():
+            key = (index.table, index.column)
+            floor = self.config.retirement_factor * self.catalog.index_build_cost(index)
+            if self._credit.get(key, 0.0) < floor:
+                self.catalog.drop_index(index)
+
+        # Adoption, richest candidates first.
+        hopefuls = sorted(
+            (
+                (credit, key)
+                for key, credit in self._credit.items()
+                if not self.catalog.is_materialized(
+                    self.catalog.index_for(*key)
+                )
+            ),
+            reverse=True,
+        )
+        for credit, key in hopefuls:
+            index = self.catalog.index_for(*key)
+            threshold = self.config.adoption_factor * self.catalog.index_build_cost(index)
+            if credit < threshold:
+                break  # sorted descending: nothing later qualifies either
+            if not self._fits_with_eviction(index):
+                continue
+            build_cost += self.catalog.index_build_cost(index)
+            self.catalog.materialize_index(index)
+        return build_cost
+
+    def _fits_with_eviction(self, index: IndexDef) -> bool:
+        """Make room by evicting lower-credit incumbents if possible."""
+        budget = self.config.storage_budget_pages
+        size = self.catalog.index_size_pages(index)
+        if size > budget:
+            return False
+        used = self.catalog.materialized_size_pages()
+        if used + size <= budget:
+            return True
+        key = (index.table, index.column)
+        credit = self._credit.get(key, 0.0)
+        incumbents = sorted(
+            self.catalog.materialized_indexes(),
+            key=lambda ix: self._credit.get((ix.table, ix.column), 0.0),
+        )
+        for victim in incumbents:
+            victim_credit = self._credit.get((victim.table, victim.column), 0.0)
+            if victim_credit >= credit:
+                return False  # cannot evict a better incumbent
+            self.catalog.drop_index(victim)
+            used -= self.catalog.index_size_pages(victim)
+            if used + size <= budget:
+                return True
+        return used + size <= budget

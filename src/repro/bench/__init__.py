@@ -1,0 +1,32 @@
+"""Benchmark harness: experiment drivers for every table and figure.
+
+``harness`` runs COLT and OFFLINE over a workload on separate catalogs
+and collects per-query ledgers; ``figures`` turns those ledgers into the
+exact series each figure of the paper plots.
+"""
+
+from repro.bench.harness import (
+    ColtRun,
+    OfflineRun,
+    run_colt,
+    run_offline,
+)
+from repro.bench.figures import (
+    figure3_stable,
+    figure4_shifting,
+    figure5_overhead,
+    figure6_noise,
+    table1_dataset,
+)
+
+__all__ = [
+    "ColtRun",
+    "OfflineRun",
+    "figure3_stable",
+    "figure4_shifting",
+    "figure5_overhead",
+    "figure6_noise",
+    "run_colt",
+    "run_offline",
+    "table1_dataset",
+]

@@ -1,0 +1,134 @@
+"""Structured experiment traces.
+
+``trace_run`` executes a COLT simulation while recording, per epoch,
+everything the Self-Organizer decided: set compositions, what-if budget
+grants and usage, the improvement ratio, and the epoch's execution cost.
+The resulting :class:`TunerTrace` renders as a human-readable timeline --
+the quickest way to *see* COLT hibernate, wake, and re-tune.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+from repro.core.colt import ColtTuner
+from repro.core.config import ColtConfig
+from repro.engine.catalog import Catalog
+from repro.sql.ast import Query
+
+
+@dataclasses.dataclass
+class EpochTrace:
+    """One epoch's record.
+
+    Attributes:
+        epoch: 0-based epoch number.
+        execution_cost: Sum of the epoch's query execution costs.
+        total_cost: Execution plus tuning overheads for the epoch.
+        whatif_used: What-if calls actually spent.
+        budget_granted: ``#WI_lim`` granted for the *next* epoch.
+        improvement_ratio: The re-budgeting ratio ``r``.
+        materialized: Names in ``M`` after reorganization.
+        added / dropped: Changes made at this boundary.
+        hot: Names in the next epoch's hot set.
+    """
+
+    epoch: int
+    execution_cost: float
+    total_cost: float
+    whatif_used: int
+    budget_granted: int
+    improvement_ratio: float
+    materialized: List[str]
+    added: List[str]
+    dropped: List[str]
+    hot: List[str]
+
+
+@dataclasses.dataclass
+class TunerTrace:
+    """A complete traced run."""
+
+    epochs: List[EpochTrace]
+    config: ColtConfig
+
+    @property
+    def total_cost(self) -> float:
+        """Workload-wide total cost."""
+        return sum(e.total_cost for e in self.epochs)
+
+    @property
+    def total_whatif(self) -> int:
+        """Workload-wide what-if calls."""
+        return sum(e.whatif_used for e in self.epochs)
+
+    def render_timeline(self, cost_width: int = 24) -> str:
+        """Render the run as a per-epoch text timeline."""
+        if not self.epochs:
+            return "(empty trace)"
+        peak = max(e.execution_cost for e in self.epochs) or 1.0
+        lines = [
+            f"{'ep':>4} {'exec cost':<{cost_width + 10}} {'wi':>3} "
+            f"{'r':>5} {'|M|':>4}  changes"
+        ]
+        for e in self.epochs:
+            bar = "#" * max(1, int(e.execution_cost / peak * cost_width))
+            changes = []
+            if e.added:
+                changes.append("+" + ",".join(e.added))
+            if e.dropped:
+                changes.append("-" + ",".join(e.dropped))
+            lines.append(
+                f"{e.epoch:>4} {bar:<{cost_width}} {e.execution_cost:>9.0f} "
+                f"{e.whatif_used:>3} {e.improvement_ratio:>5.2f} "
+                f"{len(e.materialized):>4}  {' '.join(changes)}"
+            )
+        lines.append(
+            f"total cost {self.total_cost:,.0f}; what-if calls {self.total_whatif}"
+        )
+        return "\n".join(lines)
+
+
+def trace_run(
+    catalog: Catalog,
+    workload: Sequence[Query],
+    config: Optional[ColtConfig] = None,
+) -> TunerTrace:
+    """Run COLT over a workload, recording one trace entry per epoch."""
+    tuner = ColtTuner(catalog, config)
+    epochs: List[EpochTrace] = []
+    exec_acc = 0.0
+    total_acc = 0.0
+    wi_acc = 0
+
+    for query in workload:
+        outcome = tuner.process_query(query)
+        exec_acc += outcome.execution_cost
+        total_acc += outcome.total_cost
+        wi_acc += outcome.whatif_calls
+        if outcome.epoch_ended:
+            reorg = outcome.reorganization
+            assert reorg is not None
+            epochs.append(
+                EpochTrace(
+                    epoch=len(epochs),
+                    execution_cost=exec_acc,
+                    total_cost=total_acc,
+                    whatif_used=wi_acc,
+                    budget_granted=reorg.whatif_budget,
+                    improvement_ratio=reorg.improvement_ratio,
+                    materialized=[ix.name for ix in tuner.materialized_set],
+                    added=[_short(ix.name) for ix in reorg.materialize],
+                    dropped=[_short(ix.name) for ix in reorg.drop],
+                    hot=[ix.name for ix in reorg.hot],
+                )
+            )
+            exec_acc = total_acc = 0.0
+            wi_acc = 0
+    return TunerTrace(epochs=epochs, config=tuner.config)
+
+
+def _short(name: str) -> str:
+    """Compact index names for timeline rendering."""
+    return name.replace("ix_", "")

@@ -1,0 +1,268 @@
+"""Command-line interface.
+
+Exposes the reproduction's experiments and a few interactive utilities::
+
+    python -m repro table1                 # Table 1 characteristics
+    python -m repro fig3 [--seed N]        # stable-workload experiment
+    python -m repro fig4                   # shifting-workload experiment
+    python -m repro fig5                   # overhead self-regulation
+    python -m repro fig6 [--bursts 20,50]  # noise resilience sweep
+    python -m repro explain "select ..."   # optimize a query against the
+                                           #   paper catalog and show the plan
+    python -m repro demo                   # 60-second COLT walkthrough
+
+Every experiment prints the same series the corresponding figure of the
+paper charts (plus a small ASCII rendering where it helps).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.bench.figures import (
+    DEFAULT_BUDGET_PAGES,
+    figure3_stable,
+    figure4_shifting,
+    figure5_overhead,
+    figure6_noise,
+    table1_dataset,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="COLT (ICDE 2007) reproduction: experiments and utilities",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="print Table 1 (data set characteristics)")
+
+    for name, text in (
+        ("fig3", "stable workload: COLT vs OFFLINE"),
+        ("fig4", "shifting workload: COLT vs OFFLINE"),
+        ("fig5", "what-if overhead self-regulation"),
+    ):
+        p = sub.add_parser(name, help=text)
+        p.add_argument("--seed", type=int, default=0, help="workload RNG seed")
+        p.add_argument(
+            "--budget",
+            type=float,
+            default=DEFAULT_BUDGET_PAGES,
+            help="storage budget in pages",
+        )
+
+    p6 = sub.add_parser("fig6", help="noise resilience sweep")
+    p6.add_argument("--seed", type=int, default=0)
+    p6.add_argument(
+        "--budget", type=float, default=DEFAULT_BUDGET_PAGES
+    )
+    p6.add_argument(
+        "--bursts",
+        type=str,
+        default="20,30,40,50,60,70,80,90",
+        help="comma-separated burst lengths",
+    )
+
+    pe = sub.add_parser(
+        "explain", help="optimize a query against the paper catalog"
+    )
+    pe.add_argument("sql", help="a SELECT statement over the TPC-H schema")
+    pe.add_argument(
+        "--index",
+        action="append",
+        default=[],
+        metavar="TABLE.COLUMN",
+        help="hypothetical index to make available (repeatable)",
+    )
+
+    pa = sub.add_parser(
+        "advise", help="one-shot index recommendation for a list of queries"
+    )
+    pa.add_argument(
+        "sql",
+        nargs="+",
+        help="one or more SELECT statements over the TPC-H schema",
+    )
+    pa.add_argument(
+        "--budget", type=float, default=DEFAULT_BUDGET_PAGES, help="pages"
+    )
+
+    pt = sub.add_parser(
+        "timeline", help="per-epoch timeline of a COLT run (watch it tune)"
+    )
+    pt.add_argument(
+        "--workload",
+        choices=("stable", "shifting"),
+        default="shifting",
+        help="which paper workload to trace",
+    )
+    pt.add_argument("--seed", type=int, default=0)
+    pt.add_argument("--budget", type=float, default=DEFAULT_BUDGET_PAGES)
+    pt.add_argument(
+        "--queries", type=int, default=400, help="workload length (stable only)"
+    )
+
+    sub.add_parser("demo", help="a 60-second COLT walkthrough")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "table1":
+            print(table1_dataset().to_text())
+        elif args.command == "fig3":
+            _run_fig3(args)
+        elif args.command == "fig4":
+            _run_fig4(args)
+        elif args.command == "fig5":
+            print(figure5_overhead(budget=args.budget, seed=args.seed).to_text())
+        elif args.command == "fig6":
+            bursts = tuple(int(b) for b in args.bursts.split(","))
+            print(
+                figure6_noise(
+                    burst_lengths=bursts, budget=args.budget, seed=args.seed
+                ).to_text()
+            )
+        elif args.command == "explain":
+            _run_explain(args)
+        elif args.command == "advise":
+            _run_advise(args)
+        elif args.command == "timeline":
+            _run_timeline(args)
+        elif args.command == "demo":
+            _run_demo()
+    except (ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+# ----------------------------------------------------------------------
+def _run_fig3(args) -> None:
+    result = figure3_stable(budget=args.budget, seed=args.seed)
+    print(result.to_text())
+    print()
+    print(_ascii_bars("COLT   ", result.colt_bars))
+    print(_ascii_bars("OFFLINE", result.offline_bars))
+    print(
+        f"\ndeviation after query 100: {-result.reduction_percent(100):.1f}% "
+        "(paper: ~1%)"
+    )
+
+
+def _run_fig4(args) -> None:
+    result = figure4_shifting(budget=args.budget, seed=args.seed)
+    print(result.to_text())
+    print()
+    print(_ascii_bars("COLT   ", result.colt_bars))
+    print(_ascii_bars("OFFLINE", result.offline_bars))
+    print(
+        f"\noverall reduction: {result.reduction_percent():.1f}% (paper: 33%); "
+        f"phase 2: {result.reduction_percent(350, 650):.1f}% (paper: 49%)"
+    )
+
+
+def _run_explain(args) -> None:
+    from repro.optimizer import Optimizer, explain
+    from repro.sql import parse_query
+    from repro.sql.binder import bind_query
+    from repro.workload import build_catalog
+
+    catalog = build_catalog()
+    query = bind_query(parse_query(args.sql), catalog)
+    config = set()
+    for spec in args.index:
+        table, _, column = spec.partition(".")
+        if not table or not column:
+            raise ValueError(f"--index expects TABLE.COLUMN, got {spec!r}")
+        config.add(catalog.index_for(table, column))
+    result = Optimizer(catalog).optimize(query, config=frozenset(config))
+    print(explain(result.plan))
+    if config:
+        used = {ix.name for ix in result.plan.indexes_used()}
+        offered = {ix.name for ix in config}
+        print(f"\noffered indexes: {', '.join(sorted(offered))}")
+        print(f"used indexes:    {', '.join(sorted(used)) or '(none)'}")
+
+
+def _run_advise(args) -> None:
+    from repro.advisor import advise
+    from repro.workload import build_catalog
+
+    report = advise(build_catalog(), args.sql, budget_pages=args.budget)
+    print(report.to_text())
+
+
+def _run_timeline(args) -> None:
+    from repro.bench.tracing import trace_run
+    from repro.core.config import ColtConfig
+    from repro.workload import build_catalog, shifting_workload, stable_workload
+    from repro.workload.experiments import phase_distributions, stable_distribution
+
+    catalog = build_catalog()
+    if args.workload == "stable":
+        workload = stable_workload(
+            stable_distribution(), args.queries, catalog, seed=args.seed
+        )
+    else:
+        workload = shifting_workload(
+            phase_distributions(),
+            catalog,
+            phase_length=150,
+            transition=30,
+            seed=args.seed,
+        )
+    trace = trace_run(
+        build_catalog(),
+        workload.queries,
+        ColtConfig(storage_budget_pages=args.budget, seed=args.seed),
+    )
+    print(f"workload: {workload.description}\n")
+    print(trace.render_timeline())
+
+
+def _run_demo() -> None:
+    import random
+
+    from repro.core import ColtConfig, ColtTuner
+    from repro.workload import build_catalog
+    from repro.workload.experiments import stable_distribution
+    from repro.workload.phases import stable_workload
+
+    catalog = build_catalog()
+    tuner = ColtTuner(catalog, ColtConfig(storage_budget_pages=9_000.0))
+    workload = stable_workload(
+        stable_distribution(), 150, catalog, seed=random.Random().randrange(100)
+    )
+    print("streaming 150 TPC-H-style queries through COLT...\n")
+    for i, query in enumerate(workload.queries):
+        outcome = tuner.process_query(query)
+        if outcome.reorganization and outcome.reorganization.materialize:
+            names = ", ".join(
+                ix.name for ix in outcome.reorganization.materialize
+            )
+            print(f"  query {i + 1:3d}: materialized {names}")
+    print("\nfinal configuration:")
+    for index in tuner.materialized_set:
+        print(f"  {index.name}")
+    print(f"\ntotal what-if calls: {tuner.whatif.call_count}")
+
+
+def _ascii_bars(label: str, values: List[float], width: int = 60) -> str:
+    """One-line sparkline-style rendering of a bar series."""
+    if not values:
+        return f"{label} (no data)"
+    peak = max(values) or 1.0
+    blocks = "▁▂▃▄▅▆▇█"
+    chars = [blocks[min(7, int(v / peak * 7.999))] for v in values]
+    return f"{label} {''.join(chars)}  (peak {peak:,.0f})"
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,193 @@
+"""Candidate index mining and crude benefit tracking (the set ``C``).
+
+COLT mines candidates from the selection predicates of queries in the
+memory window ``S_h`` and maintains, per candidate, a sliding window of
+per-epoch crude benefits ``BenefitC`` computed with standard cost
+formulas (no optimizer calls).  The crude benefits rank candidates for
+promotion into the hot set.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
+
+from repro.engine.catalog import Catalog
+from repro.engine.index import IndexDef
+from repro.optimizer.access import crude_index_delta_cost
+from repro.sql.ast import CompareOp, ComparisonPredicate, InPredicate, Query
+
+
+class CandidateStats:
+    """Sliding-window crude benefit statistics for one candidate index."""
+
+    __slots__ = ("index", "epoch_gain", "_window", "_smoothed", "_smoothing")
+
+    def __init__(self, index: IndexDef, history_epochs: int, smoothing: float) -> None:
+        self.index = index
+        self.epoch_gain = 0.0
+        self._window: Deque[float] = deque(maxlen=history_epochs)
+        self._smoothed: Optional[float] = None
+        self._smoothing = smoothing
+
+    def add_gain(self, gain: float) -> None:
+        """Accumulate one query's crude gain into the current epoch."""
+        self.epoch_gain += gain
+
+    def roll_epoch(self, epoch_length: int) -> None:
+        """Close the epoch: push the per-query average into the window."""
+        benefit = self.epoch_gain / epoch_length
+        self._window.append(benefit)
+        self.epoch_gain = 0.0
+        if self._smoothed is None:
+            self._smoothed = benefit
+        else:
+            a = self._smoothing
+            self._smoothed = a * benefit + (1.0 - a) * self._smoothed
+
+    @property
+    def smoothed_benefit(self) -> float:
+        """Exponentially smoothed ``BenefitC`` (0 before any epoch)."""
+        return self._smoothed or 0.0
+
+    def window_total(self) -> float:
+        """Sum of windowed per-epoch benefits (recency-unweighted)."""
+        return sum(self._window)
+
+    def stale(self) -> bool:
+        """Whether the candidate saw no benefit across the whole window."""
+        return len(self._window) == self._window.maxlen and all(
+            b <= 0.0 for b in self._window
+        )
+
+
+class CandidateTracker:
+    """Mines and scores the candidate set ``C``.
+
+    With ``composite`` enabled (an extension beyond the paper, which
+    restricts itself to single-column indexes), queries carrying several
+    predicates on one table also mine two-column candidates: an
+    equality-predicate column leading, any other filtered column
+    trailing -- the composite shapes a B+tree can actually exploit.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        history_epochs: int,
+        smoothing: float,
+        composite: bool = False,
+    ) -> None:
+        self._catalog = catalog
+        self._history = history_epochs
+        self._smoothing = smoothing
+        self._composite = composite
+        self._stats: Dict[Tuple[str, Tuple[str, ...]], CandidateStats] = {}
+
+    def __len__(self) -> int:
+        return len(self._stats)
+
+    def candidates(self) -> List[IndexDef]:
+        """The current candidate set ``C``."""
+        return [s.index for s in self._stats.values()]
+
+    def stats_for(self, index: IndexDef) -> Optional[CandidateStats]:
+        """Stats for one candidate, if it has been mined."""
+        return self._stats.get((index.table, index.columns))
+
+    def observe_query(
+        self, query: Query, used_indexes: Iterable[IndexDef], materialized: Iterable[IndexDef]
+    ) -> List[Tuple[IndexDef, float]]:
+        """Mine candidates from a query and update their crude benefits.
+
+        Implements lines 13-14 of the profiling algorithm:
+        ``QueryGain_C(q, I) = u_{q,I} * Δcost(R, σ, I)``.  The indicator
+        ``u`` is read off the actual plan for materialized indexes and
+        optimistically set to 1 otherwise.
+
+        Args:
+            query: The current (bound) query.
+            used_indexes: Indexes appearing in the query's chosen plan.
+            materialized: The current materialized set.
+
+        Returns:
+            The (candidate, gain) pairs credited for this query.
+        """
+        used = set(used_indexes)
+        mat = set(materialized)
+        credited: List[Tuple[IndexDef, float]] = []
+        for index in self._mined_indexes(query):
+            stats = self._stats.get((index.table, index.columns))
+            if stats is None:
+                stats = CandidateStats(index, self._history, self._smoothing)
+                self._stats[(index.table, index.columns)] = stats
+            if index in mat and index not in used:
+                u = 0.0  # the optimizer had it and chose not to use it
+            else:
+                u = 1.0  # optimistic prediction, per the paper
+            gain = u * crude_index_delta_cost(
+                self._catalog, index, query.filters_on(index.table)
+            )
+            stats.add_gain(gain)
+            credited.append((index, gain))
+        return credited
+
+    def _mined_indexes(self, query: Query) -> List[IndexDef]:
+        """Candidate indexes this query suggests (singles, then pairs)."""
+        singles: List[Tuple[str, str]] = []
+        eq_columns: Dict[str, List[str]] = {}
+        for pred in query.filters:
+            table = pred.column.table
+            column = pred.column.column
+            if not self._catalog.table(table).column(column).indexable:
+                continue
+            if (table, column) not in singles:
+                singles.append((table, column))
+            is_eq = (
+                isinstance(pred, ComparisonPredicate) and pred.op is CompareOp.EQ
+            ) or isinstance(pred, InPredicate)
+            if is_eq and column not in eq_columns.setdefault(table, []):
+                eq_columns[table].append(column)
+
+        mined = [self._catalog.index_for(t, c) for t, c in singles]
+        if self._composite:
+            per_table: Dict[str, List[str]] = {}
+            for table, column in singles:
+                per_table.setdefault(table, []).append(column)
+            for table, columns in per_table.items():
+                if len(columns) < 2:
+                    continue
+                for lead in eq_columns.get(table, []):
+                    for trail in columns:
+                        if trail != lead:
+                            mined.append(
+                                self._catalog.composite_index_for(
+                                    table, [lead, trail]
+                                )
+                            )
+        return mined
+
+    def roll_epoch(self, epoch_length: int) -> None:
+        """Close the epoch on every candidate; evict stale ones.
+
+        A candidate whose crude benefit has been zero for the entire
+        memory window corresponds to predicates no longer present in
+        ``S_h`` and is dropped from ``C``.
+        """
+        dead = []
+        for key, stats in self._stats.items():
+            stats.roll_epoch(epoch_length)
+            if stats.stale():
+                dead.append(key)
+        for key in dead:
+            del self._stats[key]
+
+    def ranked(self, exclude: Iterable[IndexDef] = ()) -> List[CandidateStats]:
+        """Candidates by descending smoothed benefit, minus exclusions."""
+        excluded = {(ix.table, ix.columns) for ix in exclude}
+        pool = [
+            s
+            for key, s in self._stats.items()
+            if key not in excluded
+        ]
+        return sorted(pool, key=lambda s: s.smoothed_benefit, reverse=True)

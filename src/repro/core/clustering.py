@@ -1,0 +1,172 @@
+"""On-line query clustering.
+
+§4.1 of the paper: queries are clustered by (a) the tables they access,
+(b) their join predicates, and (c) the attributes of their selection
+predicates together with a coarse selectivity class -- *selective*
+(0-2%) vs. *non-selective* (2-100%).  Each cluster aggregates gain
+statistics per index so that a few what-if samples generalize to every
+similar query.
+
+Assignment is O(query size): the cluster key is computed from the bound
+query plus catalog statistics (for the selectivity class) and looked up
+in a dictionary.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Tuple
+
+from repro.engine.catalog import Catalog
+from repro.engine.index import IndexDef
+from repro.optimizer.selectivity import predicate_selectivity
+from repro.sql.ast import Query
+
+# The paper's two selectivity classes.
+SELECTIVE_THRESHOLD = 0.02
+
+JoinKey = Tuple[Tuple[str, str], Tuple[str, str]]
+ClusterKey = Tuple[
+    Tuple[str, ...],  # sorted tables
+    Tuple[JoinKey, ...],  # sorted normalized join column pairs
+    Tuple[Tuple[str, str, str], ...],  # (table, column, class) per selection
+]
+
+
+def cluster_key(query: Query, catalog: Catalog) -> ClusterKey:
+    """Compute the cluster key for a bound query."""
+    tables = tuple(sorted(query.tables))
+    joins = []
+    for join in query.joins:
+        j = join.normalized()
+        joins.append(
+            ((j.left.table, j.left.column), (j.right.table, j.right.column))
+        )
+    selections = []
+    for pred in query.filters:
+        sel = predicate_selectivity(catalog, pred)
+        klass = "S" if sel <= SELECTIVE_THRESHOLD else "N"
+        selections.append((pred.column.table, pred.column.column, klass))
+    return tables, tuple(sorted(joins)), tuple(sorted(selections))
+
+
+class Cluster:
+    """One query cluster with a sliding window of per-epoch counts.
+
+    Attributes:
+        key: The structural cluster key.
+        cluster_id: Dense integer id, stable for the run.
+        epoch_count: Queries assigned in the current epoch.
+    """
+
+    __slots__ = ("key", "cluster_id", "epoch_count", "_window")
+
+    def __init__(self, key: ClusterKey, cluster_id: int, history_epochs: int) -> None:
+        self.key = key
+        self.cluster_id = cluster_id
+        self.epoch_count = 0
+        self._window: Deque[int] = deque(maxlen=history_epochs)
+
+    @property
+    def tables(self) -> Tuple[str, ...]:
+        """Tables accessed by the cluster's queries."""
+        return self.key[0]
+
+    @property
+    def selection_attributes(self) -> List[Tuple[str, str]]:
+        """(table, column) pairs of the cluster's selection predicates."""
+        return [(t, c) for (t, c, _klass) in self.key[2]]
+
+    def referenced_columns(self) -> frozenset:
+        """All (table, column) pairs this cluster's queries reference.
+
+        An index's what-if gain for a cluster can only change when the
+        materialization status of an index on one of these columns
+        changes -- the consistency rule of §4.1, applied precisely.
+        """
+        cols = set(self.selection_attributes)
+        for left, right in self.key[1]:
+            cols.add(left)
+            cols.add(right)
+        return frozenset(cols)
+
+    def count(self) -> int:
+        """``Count(Q_i)``: queries in the memory window ``S_h``."""
+        return sum(self._window) + self.epoch_count
+
+    def roll_epoch(self) -> None:
+        """Close the current epoch (push its count into the window)."""
+        self._window.append(self.epoch_count)
+        self.epoch_count = 0
+
+    def is_relevant(self, index: IndexDef) -> bool:
+        """Whether an index could serve this cluster's queries.
+
+        True when the index's column appears among the cluster's
+        selection attributes, or the index's table is accessed (covering
+        potential join use).
+        """
+        if (index.table, index.column) in self.selection_attributes:
+            return True
+        return index.table in self.tables
+
+
+class ClusterStore:
+    """Assigns queries to clusters and tracks per-cluster populations.
+
+    The number of clusters is bounded by the number of distinct query
+    shapes in the memory window (at most ``w * h``, per the paper).
+    """
+
+    def __init__(self, catalog: Catalog, history_epochs: int) -> None:
+        self._catalog = catalog
+        self._history = history_epochs
+        self._clusters: Dict[ClusterKey, Cluster] = {}
+        self._by_id: Dict[int, Cluster] = {}
+        self._next_id = 0
+
+    def assign(self, query: Query) -> Cluster:
+        """Assign a query to its (possibly new) cluster."""
+        key = cluster_key(query, self._catalog)
+        cluster = self._clusters.get(key)
+        if cluster is None:
+            cluster = Cluster(key, self._next_id, self._history)
+            self._next_id += 1
+            self._clusters[key] = cluster
+            self._by_id[cluster.cluster_id] = cluster
+        cluster.epoch_count += 1
+        return cluster
+
+    def by_id(self, cluster_id: int) -> "Cluster":
+        """Look up a live cluster by id.
+
+        Raises:
+            KeyError: if the cluster has been evicted.
+        """
+        return self._by_id[cluster_id]
+
+    def has_id(self, cluster_id: int) -> bool:
+        """Whether a cluster with this id is still live."""
+        return cluster_id in self._by_id
+
+    def roll_epoch(self) -> None:
+        """Close the epoch on every cluster and evict empty ones."""
+        dead = []
+        for key, cluster in self._clusters.items():
+            cluster.roll_epoch()
+            if cluster.count() == 0:
+                dead.append(key)
+        for key in dead:
+            cluster = self._clusters.pop(key)
+            del self._by_id[cluster.cluster_id]
+
+    def clusters(self) -> Iterable[Cluster]:
+        """All live clusters."""
+        return self._clusters.values()
+
+    def total_count(self) -> int:
+        """Total queries across clusters in the memory window."""
+        return sum(c.count() for c in self._clusters.values())
+
+    def __len__(self) -> int:
+        return len(self._clusters)

@@ -1,0 +1,240 @@
+"""The COLT tuner facade.
+
+Wires the Profiler, Self-Organizer and Scheduler to the engine behind a
+single per-query entry point, :meth:`ColtTuner.process_query`.  The
+returned :class:`QueryOutcome` is the simulation's ledger record: the
+query's execution cost under the configuration in force, plus the
+on-line tuning overheads attributable to it (what-if calls this query,
+index builds triggered at an epoch boundary it closed).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+from repro.core.config import ColtConfig
+from repro.core.profiler import Profiler
+from repro.core.scheduler import Scheduler, SchedulingPolicy
+from repro.core.self_organizer import ReorganizationResult, SelfOrganizer
+from repro.engine.catalog import Catalog
+from repro.engine.index import IndexDef
+from repro.engine.storage import PhysicalStore
+from repro.optimizer.optimizer import Optimizer
+from repro.optimizer.plan import PlanNode
+from repro.optimizer.whatif import WhatIfOptimizer
+from repro.sql.ast import Query
+
+
+@dataclasses.dataclass
+class InsertOutcome:
+    """Ledger record for a batch of inserts (write-aware extension).
+
+    Attributes:
+        table: Target table.
+        count: Rows inserted.
+        heap_cost: Cost of appending to the heap.
+        maintenance_cost: Cost of keeping the table's materialized
+            indexes up to date for these rows.
+        total_cost: Sum of the above.
+    """
+
+    table: str
+    count: int
+    heap_cost: float
+    maintenance_cost: float
+    total_cost: float
+
+
+@dataclasses.dataclass
+class QueryOutcome:
+    """Ledger record for one processed query.
+
+    Attributes:
+        index: 0-based position of the query in the stream.
+        execution_cost: Optimizer cost of the chosen plan under the
+            configuration in force when the query ran.
+        whatif_calls: What-if calls spent profiling this query.
+        whatif_overhead: Cost units charged for those calls.
+        build_cost: Index build cost charged at the epoch boundary this
+            query closed (0 otherwise).
+        total_cost: Sum of the above -- the COLT-side response-time
+            analogue the paper measures.
+        plan: The executed plan.
+        epoch_ended: Whether this query closed an epoch.
+        reorganization: The Self-Organizer's decisions, when an epoch
+            ended.
+    """
+
+    index: int
+    execution_cost: float
+    whatif_calls: int
+    whatif_overhead: float
+    build_cost: float
+    total_cost: float
+    plan: PlanNode
+    epoch_ended: bool = False
+    reorganization: Optional[ReorganizationResult] = None
+
+
+class ColtTuner:
+    """Continuous on-line index tuning over a catalog.
+
+    Args:
+        catalog: The catalog to tune.  Its materialized set is owned by
+            the tuner from now on.
+        config: Tuning parameters (defaults follow the paper).
+        store: Optional physical store; when given, materializations
+            build real B+trees so queries can be executed.
+        policy: Materialization scheduling policy.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        config: Optional[ColtConfig] = None,
+        store: Optional[PhysicalStore] = None,
+        policy: SchedulingPolicy = SchedulingPolicy.IMMEDIATE,
+    ) -> None:
+        self.catalog = catalog
+        self.config = config or ColtConfig()
+        self.optimizer = Optimizer(catalog)
+        self.whatif = WhatIfOptimizer(self.optimizer)
+        self.profiler = Profiler(catalog, self.whatif, self.config)
+        self.self_organizer = SelfOrganizer(catalog, self.config)
+        self.scheduler = Scheduler(catalog, store=store, policy=policy)
+        self._store = store
+        self._queries_seen = 0
+        self._epoch_inserts: dict = {}
+        # Adopt whatever is already materialized as the starting M.
+        self.self_organizer.materialized = set(catalog.materialized_indexes())
+
+    # ------------------------------------------------------------------
+    @property
+    def materialized_set(self) -> List[IndexDef]:
+        """The current materialized set ``M``."""
+        return sorted(self.self_organizer.materialized, key=str)
+
+    @property
+    def hot_set(self) -> List[IndexDef]:
+        """The current hot set ``H``."""
+        return sorted(self.self_organizer.hot, key=str)
+
+    @property
+    def queries_seen(self) -> int:
+        """Number of queries processed so far."""
+        return self._queries_seen
+
+    # ------------------------------------------------------------------
+    def process_query(self, query: Query) -> QueryOutcome:
+        """Process one arriving (bound) query.
+
+        Optimizes it under the current configuration, profiles candidate
+        indexes within the epoch's what-if budget, and -- when the query
+        closes an epoch -- runs reorganization and re-budgeting, applying
+        any materialization decisions through the scheduler.
+
+        Returns:
+            The ledger record for the query.
+        """
+        session = self.whatif.begin_query(query)
+        calls_before = self.whatif.call_count
+
+        self.profiler.profile_query(
+            query,
+            session,
+            hot=self.self_organizer.hot,
+            materialized=self.self_organizer.materialized,
+        )
+
+        self._queries_seen += 1
+        build_cost = 0.0
+        reorg: Optional[ReorganizationResult] = None
+        epoch_ended = self._queries_seen % self.config.epoch_length == 0
+        if epoch_ended:
+            reorg = self._close_epoch()
+            build_cost = self._apply(reorg)
+
+        whatif_calls = self.whatif.call_count - calls_before
+        whatif_overhead = whatif_calls * self.config.whatif_call_cost
+        return QueryOutcome(
+            index=self._queries_seen - 1,
+            execution_cost=session.base.cost,
+            whatif_calls=whatif_calls,
+            whatif_overhead=whatif_overhead,
+            build_cost=build_cost,
+            total_cost=session.base.cost + whatif_overhead + build_cost,
+            plan=session.base.plan,
+            epoch_ended=epoch_ended,
+            reorganization=reorg,
+        )
+
+    def process_insert(self, table: str, rows=None, count: Optional[int] = None) -> InsertOutcome:
+        """Process a batch of inserts (write-aware extension).
+
+        The batch is charged a heap-append cost plus one maintenance
+        charge per (row, materialized index on the table); the observed
+        write volume feeds the Self-Organizer, which discounts the
+        NetBenefit of indexes on write-hot tables accordingly.
+
+        Args:
+            table: Target table.
+            rows: Concrete rows to insert.  Required when the tuner is
+                attached to a physical store (heaps and trees are
+                actually updated); optional in pure cost-model mode.
+            count: Number of rows when ``rows`` is omitted (statistics-
+                only insert).
+
+        Returns:
+            The ledger record for the batch.
+
+        Raises:
+            ValueError: if neither ``rows`` nor ``count`` is given, or
+                if ``rows`` is omitted while a physical store is attached.
+        """
+        if rows is None and count is None:
+            raise ValueError("provide rows or count")
+        if self._store is not None:
+            if rows is None:
+                raise ValueError(
+                    "a physical store is attached: concrete rows are required"
+                )
+            n = self._store.apply_inserts(table, rows)
+        else:
+            n = len(list(rows)) if rows is not None else int(count)
+            self.catalog.table(table).row_count += n
+
+        params = self.catalog.params
+        n_indexes = len(self.catalog.materialized_indexes(table))
+        heap_cost = n * params.cpu_tuple_cost
+        maintenance = n * n_indexes * params.index_maintain_cost_per_tuple
+        self._epoch_inserts[table] = self._epoch_inserts.get(table, 0) + n
+        return InsertOutcome(
+            table=table,
+            count=n,
+            heap_cost=heap_cost,
+            maintenance_cost=maintenance,
+            total_cost=heap_cost + maintenance,
+        )
+
+    def run(self, queries) -> List[QueryOutcome]:
+        """Process a sequence of queries, returning all ledger records."""
+        return [self.process_query(q) for q in queries]
+
+    # ------------------------------------------------------------------
+    def _close_epoch(self) -> ReorganizationResult:
+        report = self.profiler.end_epoch(
+            hot=self.self_organizer.hot,
+            materialized=self.self_organizer.materialized,
+        )
+        inserts = self._epoch_inserts
+        self._epoch_inserts = {}
+        return self.self_organizer.end_epoch(report, self.profiler, inserts=inserts)
+
+    def _apply(self, reorg: ReorganizationResult) -> float:
+        build_cost = self.scheduler.request_materialization(reorg.materialize)
+        self.scheduler.request_drop(reorg.drop)
+        if reorg.materialize or reorg.drop:
+            self.profiler.purge_stale()
+        self.profiler.set_budget(reorg.whatif_budget)
+        return build_cost

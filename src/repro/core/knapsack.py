@@ -1,0 +1,156 @@
+"""0/1 knapsack solvers for index selection.
+
+The Self-Organizer models reorganization as a knapsack: objects are the
+indexes of ``H ∪ M``, sizes are index sizes in pages, values are
+``NetBenefit`` forecasts, and the capacity is the storage budget ``B``
+(§5).  Sizes are fractional, so the exact solver discretizes them onto a
+fixed grid (rounding sizes *up*, which keeps solutions feasible); a
+density-ordered greedy solver is available for large instances and as a
+cross-check in tests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence, Tuple
+
+DEFAULT_RESOLUTION = 2048
+
+
+@dataclasses.dataclass(frozen=True)
+class KnapsackItem:
+    """One knapsack object.
+
+    Attributes:
+        key: Caller's identifier (e.g. an :class:`IndexDef`).
+        size: Size in the capacity's unit (> 0).
+        value: Net benefit; items with non-positive value are never
+            selected (materializing them cannot pay off).
+    """
+
+    key: object
+    size: float
+    value: float
+
+
+# Pools up to this size solve exactly with branch-and-bound over the true
+# (float) sizes; larger pools fall back to the discretized DP.
+MAX_EXACT_ITEMS = 24
+
+
+def solve_knapsack(
+    items: Sequence[KnapsackItem],
+    capacity: float,
+    resolution: int = DEFAULT_RESOLUTION,
+) -> Tuple[List[KnapsackItem], float]:
+    """Solve 0/1 knapsack.
+
+    Pools of at most :data:`MAX_EXACT_ITEMS` items (every pool COLT ever
+    builds -- ``H ∪ M`` is small) are solved exactly over the true float
+    sizes with branch-and-bound; larger pools use a discretized DP whose
+    size rounding keeps solutions feasible.
+
+    Args:
+        items: Candidate objects.
+        capacity: Knapsack capacity (>= 0).
+        resolution: Grid cells for the large-pool DP fallback.
+
+    Returns:
+        (selected items, total value).  Items with value <= 0 or size
+        exceeding the capacity are excluded a priori.
+    """
+    viable = [
+        it for it in items if it.value > 0.0 and 0.0 < it.size <= capacity
+    ]
+    if not viable or capacity <= 0.0:
+        return [], 0.0
+    if len(viable) <= MAX_EXACT_ITEMS:
+        return _solve_exact(viable, capacity)
+    return _solve_grid(viable, capacity, resolution)
+
+
+def _solve_exact(
+    viable: List[KnapsackItem], capacity: float
+) -> Tuple[List[KnapsackItem], float]:
+    """Branch-and-bound with the fractional-relaxation upper bound."""
+    order = sorted(viable, key=lambda it: it.value / it.size, reverse=True)
+    sizes = [it.size for it in order]
+    values = [it.value for it in order]
+    n = len(order)
+
+    def bound(pos: int, room: float) -> float:
+        """Value of the fractional relaxation over items[pos:]."""
+        total = 0.0
+        for i in range(pos, n):
+            if sizes[i] <= room:
+                room -= sizes[i]
+                total += values[i]
+            else:
+                total += values[i] * (room / sizes[i])
+                break
+        return total
+
+    best_value = 0.0
+    best_mask = 0
+
+    def dfs(pos: int, room: float, value: float, mask: int) -> None:
+        nonlocal best_value, best_mask
+        if value > best_value:
+            best_value = value
+            best_mask = mask
+        if pos >= n or value + bound(pos, room) <= best_value + 1e-12:
+            return
+        if sizes[pos] <= room:
+            dfs(pos + 1, room - sizes[pos], value + values[pos], mask | (1 << pos))
+        dfs(pos + 1, room, value, mask)
+
+    dfs(0, capacity, 0.0, 0)
+    selected = [order[i] for i in range(n) if best_mask & (1 << i)]
+    return selected, best_value
+
+
+def _solve_grid(
+    viable: List[KnapsackItem], capacity: float, resolution: int
+) -> Tuple[List[KnapsackItem], float]:
+    """DP over capacity cells; sizes round up, so solutions always fit."""
+    cells = max(1, resolution)
+    unit = capacity / cells
+    weights = [max(1, int(-(-it.size // unit))) for it in viable]
+
+    dp = [0.0] * (cells + 1)
+    choice = [[False] * (cells + 1) for _ in viable]
+    for i, (item, w) in enumerate(zip(viable, weights)):
+        row = choice[i]
+        for c in range(cells, w - 1, -1):
+            candidate = dp[c - w] + item.value
+            if candidate > dp[c]:
+                dp[c] = candidate
+                row[c] = True
+
+    selected: List[KnapsackItem] = []
+    c = cells
+    for i in range(len(viable) - 1, -1, -1):
+        if choice[i][c]:
+            selected.append(viable[i])
+            c -= weights[i]
+    selected.reverse()
+    return selected, dp[cells]
+
+
+def solve_greedy(
+    items: Sequence[KnapsackItem], capacity: float
+) -> Tuple[List[KnapsackItem], float]:
+    """Density-ordered greedy knapsack (value per size, descending)."""
+    viable = [
+        it for it in items if it.value > 0.0 and 0.0 < it.size <= capacity
+    ]
+    viable.sort(key=lambda it: it.value / it.size, reverse=True)
+    selected: List[KnapsackItem] = []
+    used = 0.0
+    total = 0.0
+    for item in viable:
+        if used + item.size <= capacity:
+            selected.append(item)
+            used += item.size
+            total += item.value
+    return selected, total

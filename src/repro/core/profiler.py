@@ -1,0 +1,329 @@
+"""The Profiler: two-level gain statistics gathering (§4, Figure 2).
+
+Per query, the Profiler:
+
+1. assigns the query to its cluster ``Q_i``;
+2. forms the probation set ``P`` from the materialized indexes used in
+   the plan (``I_M``, served first) and the hot indexes relevant to the
+   cluster (``I_H``), admitting each with an adaptive sampling
+   probability while the epoch's what-if budget ``#WI_lim`` lasts;
+3. issues ``WhatIfOptimize(q, P)`` and folds the measured gains into the
+   per-(index, cluster) confidence intervals;
+4. updates the crude ``BenefitC`` estimate of every relevant candidate.
+
+Consistency (§4.1): a stored measurement for an index is only valid
+while the materialized indexes on the same table are unchanged; the
+stats carry a configuration signature and reset when it no longer
+matches.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.core.candidates import CandidateTracker
+from repro.core.clustering import Cluster, ClusterStore
+from repro.core.config import ColtConfig
+from repro.core.intervals import GainStats
+from repro.engine.catalog import Catalog
+from repro.engine.index import IndexDef
+from repro.optimizer.whatif import WhatIfOptimizer, WhatIfSession
+from repro.sql.ast import Query
+
+# Identity of an index within COLT's bookkeeping: table plus the ordered
+# key-column tuple (composite-safe).
+IndexKey = Tuple[str, Tuple[str, ...]]
+
+
+def _key(index: IndexDef) -> IndexKey:
+    return index.table, index.columns
+
+
+class PairStats:
+    """Gain statistics for one (index, cluster) pair.
+
+    Attributes:
+        gain: Confidence-interval accumulator over measured gains.
+        signature: The materialized indexes, restricted to columns the
+            cluster's queries reference, at measurement time.  Gains are
+            only comparable while this local configuration is unchanged
+            (the §4.1 consistency rule); a mismatch invalidates the
+            samples.
+    """
+
+    __slots__ = ("gain", "signature")
+
+    def __init__(self, confidence: float, signature: FrozenSet[IndexKey]) -> None:
+        self.gain = GainStats(confidence)
+        self.signature = signature
+
+
+@dataclasses.dataclass
+class EpochIndexBenefit:
+    """Per-epoch benefit summary for one profiled index.
+
+    Attributes:
+        index: The profiled index.
+        low: Conservative per-query benefit (``Benefit_H``/``Benefit_M``).
+        high: Optimistic per-query benefit (upper CI bounds; crude
+            estimate where the index was never measured).
+        measured: Number of what-if measurements contributing this epoch.
+    """
+
+    index: IndexDef
+    low: float
+    high: float
+    measured: int
+
+
+@dataclasses.dataclass
+class ProfileOutcome:
+    """What the profiler did for one query (for traces and tests)."""
+
+    cluster: Cluster
+    probed: List[IndexDef]
+    gains: Dict[IndexDef, float]
+
+
+class Profiler:
+    """Implements the profiling algorithm of Figure 2."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        whatif: WhatIfOptimizer,
+        config: ColtConfig,
+    ) -> None:
+        self._catalog = catalog
+        self._whatif = whatif
+        self._config = config
+        self._rng = random.Random(config.seed)
+        self.clusters = ClusterStore(catalog, config.history_epochs)
+        self.candidates = CandidateTracker(
+            catalog,
+            config.history_epochs,
+            config.smoothing,
+            composite=config.composite_candidates,
+        )
+        self._pairs: Dict[Tuple[IndexKey, int], PairStats] = {}
+        # Per-epoch bookkeeping, keyed by index then cluster id.
+        self._epoch_measured: Dict[IndexKey, Dict[int, List[float]]] = {}
+        self._epoch_exposure: Dict[IndexKey, Dict[int, int]] = {}
+        self.whatif_used = 0
+        self.whatif_budget = config.max_whatif_per_epoch
+
+    # ------------------------------------------------------------------
+    # Per-query profiling
+    # ------------------------------------------------------------------
+    def profile_query(
+        self,
+        query: Query,
+        session: WhatIfSession,
+        hot: Iterable[IndexDef],
+        materialized: Iterable[IndexDef],
+    ) -> ProfileOutcome:
+        """Run one invocation of PROFILE QUERY (Figure 2).
+
+        Args:
+            query: The current bound query.
+            session: The what-if session opened by the normal
+                optimization of the query.
+            hot: The current hot set ``H``.
+            materialized: The current materialized set ``M``.
+
+        Returns:
+            The profiling outcome (cluster, probed indexes, gains).
+        """
+        cluster = self.clusters.assign(query)
+        used = session.base.plan.indexes_used()
+
+        # I_M: materialized indexes used in the plan (paper line 3).
+        mat_used = [ix for ix in materialized if ix in used]
+        # I_H: hot indexes relevant to the cluster (paper line 4).
+        hot_relevant = [ix for ix in hot if cluster.is_relevant(ix)]
+
+        # Exposure counts: every query in the cluster contributes to the
+        # denominator of Benefit_H for relevant hot indexes; materialized
+        # indexes accrue exposure only when the plan uses them (§4.1,
+        # QueryGain_M tracks positive benefit on use).
+        for index in hot_relevant:
+            self._bump_exposure(index, cluster)
+        for index in mat_used:
+            self._bump_exposure(index, cluster)
+
+        probation: List[IndexDef] = []
+        self._rng.shuffle(mat_used)
+        self._rng.shuffle(hot_relevant)
+        for index in mat_used + hot_relevant:
+            if self.whatif_used + len(probation) >= self.whatif_budget:
+                break
+            if self._rng.random() < self._sample_rate(index, cluster):
+                probation.append(index)
+
+        gains: Dict[IndexDef, float] = {}
+        if probation:
+            gains = self._whatif.what_if_optimize(session, probation)
+            self.whatif_used += len(probation)
+            for index, gain in gains.items():
+                self._record_gain(index, cluster, gain)
+
+        # Lines 13-14: crude benefit updates for every relevant candidate.
+        self.candidates.observe_query(query, used, materialized)
+        return ProfileOutcome(cluster=cluster, probed=probation, gains=gains)
+
+    # ------------------------------------------------------------------
+    # Epoch roll-over
+    # ------------------------------------------------------------------
+    def end_epoch(
+        self,
+        hot: Iterable[IndexDef],
+        materialized: Iterable[IndexDef],
+    ) -> Dict[IndexKey, EpochIndexBenefit]:
+        """Summarize the epoch and reset per-epoch state.
+
+        Returns:
+            Per-index epoch benefits (low = conservative, high =
+            optimistic) for every index in ``H ∪ M``.
+        """
+        w = self._config.epoch_length
+        report: Dict[IndexKey, EpochIndexBenefit] = {}
+        for index in list(hot) + list(materialized):
+            key = _key(index)
+            if key in report:
+                continue
+            measured = self._epoch_measured.get(key, {})
+            exposure = self._epoch_exposure.get(key, {})
+            low_total = 0.0
+            high_total = 0.0
+            n_measured = 0
+            any_unmeasured_pair = False
+            for cid, count in exposure.items():
+                samples = measured.get(cid, [])
+                n = len(samples)
+                n_measured += n
+                pair = self._valid_pair(key, cid)
+                low_bound = pair.gain.low if pair else 0.0
+                if pair and pair.gain.count > 0:
+                    high_bound = pair.gain.high
+                else:
+                    high_bound = None
+                    any_unmeasured_pair = True
+                unmeasured = max(0, count - n)
+                low_total += sum(samples) + unmeasured * low_bound
+                high_total += sum(samples) + unmeasured * (
+                    high_bound if high_bound is not None else 0.0
+                )
+            low = low_total / w
+            high = high_total / w
+            if any_unmeasured_pair:
+                # Never-profiled exposure: the optimistic view falls back
+                # to the crude (optimistic by construction) estimate.
+                crude = self._crude_epoch_benefit(index)
+                high = max(high, crude)
+            report[key] = EpochIndexBenefit(
+                index=index, low=low, high=max(high, low), measured=n_measured
+            )
+
+        self._epoch_measured.clear()
+        self._epoch_exposure.clear()
+        self.candidates.roll_epoch(w)
+        self.clusters.roll_epoch()
+        self.whatif_used = 0
+        return report
+
+    def set_budget(self, budget: int) -> None:
+        """Install the next epoch's what-if budget ``#WI_lim``."""
+        self.whatif_budget = max(0, min(budget, self._config.max_whatif_per_epoch))
+
+    # ------------------------------------------------------------------
+    # Consistency maintenance
+    # ------------------------------------------------------------------
+    def purge_stale(self) -> None:
+        """Drop measurements whose configuration signature went stale.
+
+        Called after the materialized set changes.  Only pairs whose
+        *cluster* references a changed column are affected -- an index's
+        measured gain for a cluster cannot change unless the availability
+        of an index on one of the cluster's referenced columns changed.
+        Pairs for evicted clusters are dropped too.
+        """
+        for (key, cid), pair in list(self._pairs.items()):
+            if not self.clusters.has_id(cid):
+                del self._pairs[(key, cid)]
+                continue
+            cluster = self.clusters.by_id(cid)
+            if pair.signature != self._cluster_signature(cluster):
+                del self._pairs[(key, cid)]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _cluster_signature(self, cluster: Cluster) -> FrozenSet[IndexKey]:
+        referenced = cluster.referenced_columns()
+        return frozenset(
+            _key(ix)
+            for ix in self._catalog.materialized_indexes()
+            if any((ix.table, col) in referenced for col in ix.columns)
+        )
+
+    def _valid_pair(self, key: IndexKey, cluster_id: int) -> Optional[PairStats]:
+        """The pair stats for (index, cluster), if current and consistent."""
+        pair = self._pairs.get((key, cluster_id))
+        if pair is None or not self.clusters.has_id(cluster_id):
+            return pair
+        cluster = self.clusters.by_id(cluster_id)
+        if pair.signature != self._cluster_signature(cluster):
+            return None
+        return pair
+
+    def _pair(self, index: IndexDef, cluster: Cluster) -> PairStats:
+        key = (_key(index), cluster.cluster_id)
+        signature = self._cluster_signature(cluster)
+        pair = self._pairs.get(key)
+        if pair is None or pair.signature != signature:
+            pair = PairStats(self._config.confidence, signature)
+            self._pairs[key] = pair
+        return pair
+
+    def _bump_exposure(self, index: IndexDef, cluster: Cluster) -> None:
+        per_cluster = self._epoch_exposure.setdefault(_key(index), {})
+        per_cluster[cluster.cluster_id] = per_cluster.get(cluster.cluster_id, 0) + 1
+
+    def _record_gain(self, index: IndexDef, cluster: Cluster, gain: float) -> None:
+        self._pair(index, cluster).gain.add(gain)
+        per_cluster = self._epoch_measured.setdefault(_key(index), {})
+        per_cluster.setdefault(cluster.cluster_id, []).append(gain)
+
+    def _sample_rate(self, index: IndexDef, cluster: Cluster) -> float:
+        """``GetSampleRate``: error-contribution-proportional sampling.
+
+        The error contribution of a pair grows with the cluster's
+        popularity and the gain variance, and shrinks with the number of
+        samples; unprofiled pairs are sampled with certainty.
+        """
+        pair = self._valid_pair(_key(index), cluster.cluster_id)
+        if pair is None or pair.gain.count < 3:
+            # Too few samples for the CLT interval to mean anything:
+            # profile with certainty until a baseline exists.
+            return 1.0
+        total = max(1, self.clusters.total_count())
+        popularity = cluster.count() / total
+        rate = 8.0 * popularity * pair.gain.relative_uncertainty()
+        return min(1.0, max(0.05, rate))
+
+    def _crude_epoch_benefit(self, index: IndexDef) -> float:
+        stats = self.candidates.stats_for(index)
+        if stats is None:
+            return 0.0
+        return stats.epoch_gain / self._config.epoch_length
+
+    def interval_for(
+        self, index: IndexDef, cluster_id: int
+    ) -> Optional[Tuple[float, float]]:
+        """The (low, high) gain interval for a pair, if it has samples."""
+        pair = self._valid_pair(_key(index), cluster_id)
+        if pair is None or pair.gain.count == 0:
+            return None
+        return pair.gain.interval()

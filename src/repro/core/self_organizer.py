@@ -1,0 +1,355 @@
+"""The Self-Organizer: reorganization and re-budgeting (§5).
+
+At the end of each epoch the Self-Organizer:
+
+1. folds the Profiler's epoch benefits into per-index benefit histories;
+2. computes ``NetBenefit`` forecasts and solves a KNAPSACK over
+   ``H ∪ M`` to pick the next materialized set;
+3. promotes the most promising candidates (top cluster of a 2-means
+   split over smoothed crude benefits) into the next hot set;
+4. re-budgets: re-solves the knapsack under an *optimistic* view of the
+   hot indexes (upper confidence bounds, crude estimates where never
+   measured) and maps the improvement ratio
+   ``r = NetBenefit(M') / NetBenefit(M)`` onto the next epoch's what-if
+   budget -- 0 at ``r = 1``, the maximum at ``r >= knee`` (paper: 1.3).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.config import ColtConfig
+from repro.core.forecast import BenefitHistory, net_benefit
+from repro.core.knapsack import KnapsackItem, solve_knapsack
+from repro.core.profiler import EpochIndexBenefit, Profiler
+from repro.core.window_tuner import ForecastWindowTuner
+from repro.engine.catalog import Catalog
+from repro.engine.index import IndexDef
+
+# Composite-safe index identity: table plus ordered key columns.
+IndexKey = Tuple[str, Tuple[str, ...]]
+
+
+def _key(index: IndexDef) -> IndexKey:
+    return index.table, index.columns
+
+
+@dataclasses.dataclass
+class ReorganizationResult:
+    """Decisions taken at one epoch boundary.
+
+    Attributes:
+        materialize: Indexes to add to the materialized set.
+        drop: Indexes to remove from the materialized set.
+        hot: The next epoch's hot set.
+        whatif_budget: The next epoch's what-if budget ``#WI_lim``.
+        improvement_ratio: The re-budgeting ratio ``r``.
+    """
+
+    materialize: List[IndexDef]
+    drop: List[IndexDef]
+    hot: List[IndexDef]
+    whatif_budget: int
+    improvement_ratio: float
+
+
+class SelfOrganizer:
+    """Implements reorganization and re-budgeting."""
+
+    def __init__(self, catalog: Catalog, config: ColtConfig) -> None:
+        self._catalog = catalog
+        self._config = config
+        self.materialized: Set[IndexDef] = set()
+        self.hot: Set[IndexDef] = set()
+        self._history: Dict[IndexKey, BenefitHistory] = {}
+        self._high_history: Dict[IndexKey, BenefitHistory] = {}
+        self._measured: Dict[IndexKey, int] = {}
+        # Write-aware extension: per-table insert counts per epoch.
+        self._writes: Dict[str, Deque[int]] = {}
+        self._window_tuner = (
+            ForecastWindowTuner(config.effective_forecast_window)
+            if config.adaptive_forecast_window
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    def end_epoch(
+        self,
+        report: Dict[IndexKey, EpochIndexBenefit],
+        profiler: Profiler,
+        inserts: Optional[Dict[str, int]] = None,
+    ) -> ReorganizationResult:
+        """Run one reorganization + re-budgeting step.
+
+        Args:
+            report: The Profiler's epoch benefit summary for ``H ∪ M``.
+            profiler: The profiler (for candidate rankings; its epoch
+                state must already be rolled).
+            inserts: Per-table insert counts observed this epoch (the
+                write-aware extension); indexes on write-hot tables get
+                their forecasted maintenance cost charged against
+                NetBenefit.
+
+        Returns:
+            The decisions for the next epoch.  The caller (the tuner)
+            is responsible for carrying them out via the Scheduler and
+            for invalidating profiler statistics on changed tables.
+        """
+        self._record_histories(report)
+        self._record_writes(inserts or {})
+
+        # --- Reorganization: the new materialized set -----------------
+        # Hot indexes become eligible for materialization only once they
+        # carry enough measured history to trust the forecast.
+        min_epochs = self._config.min_history_epochs
+        eligible = [
+            ix
+            for ix in self.hot
+            if len(self._history.get(_key(ix), ())) >= min_epochs
+        ]
+        pool = eligible + [ix for ix in self.materialized if ix not in eligible]
+        values = {
+            _key(ix): self._net_benefit(ix, optimistic=False) for ix in pool
+        }
+        selected, chosen_value = self._solve(pool, values)
+        new_m = set(selected)
+        adds = [ix for ix in sorted(new_m, key=str) if ix not in self.materialized]
+        drops = [ix for ix in sorted(self.materialized, key=str) if ix not in new_m]
+
+        # --- Hot set selection ----------------------------------------
+        new_hot = self._select_hot(profiler, exclude=new_m)
+
+        # --- Re-budgeting ---------------------------------------------
+        optimistic_values = dict(values)
+        for ix in self.hot:
+            optimistic_values[_key(ix)] = self._net_benefit(ix, optimistic=True)
+        for ix in new_hot:
+            optimistic_values.setdefault(
+                _key(ix), self._net_benefit(ix, optimistic=True)
+            )
+        # The optimistic scenario considers every hot index -- including
+        # ones not yet eligible for actual materialization -- since its
+        # purpose is to decide whether profiling them is worthwhile.
+        opt_pool = list({*pool, *self.hot, *new_hot})
+        _opt_selected, opt_value = self._solve(opt_pool, optimistic_values)
+        ratio = self._improvement_ratio(opt_value, chosen_value)
+        budget = self._budget_for(ratio)
+
+        # Promising-but-unproven hot indexes are the reason profiling
+        # exists: while any hot index with positive optimistic potential
+        # still lacks the history needed for materialization eligibility,
+        # keep the profiler funded so it can prove (or refute) them.
+        unproven = [
+            ix
+            for ix in new_hot
+            if self._measured.get(_key(ix), 0) < min_epochs
+            and optimistic_values.get(_key(ix), 0.0) > 0.0
+        ]
+        if unproven:
+            budget = max(budget, self._config.max_whatif_per_epoch // 2)
+
+        # --- Adaptive forecast window (§6.2 future work) ----------------
+        if self._window_tuner is not None:
+            self._window_tuner.observe_epoch(adds, drops)
+
+        # --- Commit set transitions -----------------------------------
+        for ix in drops:
+            self._history.pop(_key(ix), None)
+            self._high_history.pop(_key(ix), None)
+        self.materialized = new_m
+        self.hot = set(new_hot)
+
+        return ReorganizationResult(
+            materialize=adds,
+            drop=drops,
+            hot=sorted(self.hot, key=str),
+            whatif_budget=budget,
+            improvement_ratio=ratio,
+        )
+
+    # ------------------------------------------------------------------
+    def _record_histories(self, report: Dict[IndexKey, EpochIndexBenefit]) -> None:
+        """Fold raw epoch benefits into the histories.
+
+        Benefits are recorded unsmoothed: the forecasting function's
+        windowed means (with a minimum window, see ``repro.core.
+        forecast``) absorb per-epoch Poisson arrival noise, while the
+        raw window retains pre-shift memory -- the property behind the
+        paper's noise resilience (a dropped distribution's indexes keep
+        part of their forecast for up to ``h`` epochs).
+        """
+        h = self._config.history_epochs
+        for key, benefit in report.items():
+            self._history.setdefault(key, BenefitHistory(h)).record(benefit.low)
+            self._high_history.setdefault(key, BenefitHistory(h)).record(
+                benefit.high
+            )
+            self._measured[key] = self._measured.get(key, 0) + benefit.measured
+
+    def _net_benefit(self, index: IndexDef, optimistic: bool) -> float:
+        """Forecasted NetBenefit for an index.
+
+        ``NetBenefit(I) = Σ_j PredBenefit_j(I) − MatCost(I)`` with
+        ``MatCost = 0`` for already-materialized indexes (§5).  We take
+        the formula literally: per-query benefit forecasts summed over
+        the horizon against the full build cost.  This makes the build
+        cost a strong hysteresis against swapping near-equal indexes in
+        and out of ``M`` every epoch -- the self-correcting behaviour
+        the paper describes.  ``matcost_weight`` rescales the damping
+        for the ablation benches.
+
+        Write-aware extension: indexes on tables receiving inserts are
+        additionally charged their forecasted maintenance cost over the
+        horizon, at the same benefit/cost exchange rate as the build
+        cost.  A heavily written table must earn its indexes twice over.
+        """
+        key = _key(index)
+        if self._window_tuner is not None:
+            horizon = self._window_tuner.window
+        else:
+            horizon = self._config.effective_forecast_window
+        histories = self._high_history if optimistic else self._history
+        history = histories.get(key)
+        values = history.values() if history is not None else []
+        build = self._catalog.index_build_cost(index)
+        if index in self.materialized:
+            # Small retention credit: a challenger must beat the
+            # incumbent by a margin, since evicting and re-adopting on
+            # forecast noise costs two builds.
+            mat_cost = -build * self._config.retention_weight
+        else:
+            mat_cost = build * self._config.matcost_weight
+        maintenance = (
+            self.write_rate(index.table)
+            * self._catalog.params.index_maintain_cost_per_tuple
+            * horizon
+            * self._config.matcost_weight
+        )
+        return net_benefit(values, horizon, mat_cost + maintenance)
+
+    # ------------------------------------------------------------------
+    # Write-aware extension helpers
+    # ------------------------------------------------------------------
+    def _record_writes(self, inserts: Dict[str, int]) -> None:
+        h = self._config.history_epochs
+        for table in inserts:
+            self._writes.setdefault(table, deque(maxlen=h))
+        for table, window in self._writes.items():
+            window.append(inserts.get(table, 0))
+
+    def write_rate(self, table: str) -> float:
+        """Mean inserts per epoch observed for a table (memory window)."""
+        window = self._writes.get(table)
+        if not window:
+            return 0.0
+        return sum(window) / len(window)
+
+    def _solve(
+        self, pool: Iterable[IndexDef], values: Dict[IndexKey, float]
+    ) -> Tuple[List[IndexDef], float]:
+        items = [
+            KnapsackItem(
+                key=ix,
+                size=self._catalog.index_size_pages(ix),
+                value=values.get(_key(ix), 0.0),
+            )
+            for ix in pool
+        ]
+        selected, total = solve_knapsack(
+            items, self._config.storage_budget_pages
+        )
+        return [item.key for item in selected], total
+
+    def _select_hot(
+        self, profiler: Profiler, exclude: Set[IndexDef]
+    ) -> List[IndexDef]:
+        """Select the hot set from the candidates' crude benefits (§5).
+
+        The paper groups smoothed ``BenefitC`` values into two clusters
+        with minimal variance and promotes the top cluster.  We apply the
+        same 2-means split twice -- once on absolute benefit and once on
+        benefit *density* (benefit per page) -- and take the union: under
+        a tight budget the knapsack favours dense small indexes that a
+        purely absolute ranking would starve of profiling.
+        """
+        ranked = profiler.candidates.ranked(exclude=exclude)
+        positive = [s for s in ranked if s.smoothed_benefit > 0.0]
+        if not positive:
+            return []
+
+        by_benefit = positive
+        split_b = two_means_split([s.smoothed_benefit for s in by_benefit])
+
+        def density(stats) -> float:
+            size = max(1.0, self._catalog.index_size_pages(stats.index))
+            return stats.smoothed_benefit / size
+
+        by_density = sorted(positive, key=density, reverse=True)
+        split_d = two_means_split([density(s) for s in by_density])
+
+        promoted = []
+        seen: Set[IndexKey] = set()
+        for stats in by_benefit[:split_b] + by_density[:split_d]:
+            key = _key(stats.index)
+            if key not in seen:
+                seen.add(key)
+                promoted.append(stats)
+        promoted.sort(key=lambda s: s.smoothed_benefit, reverse=True)
+        promoted = promoted[: self._config.max_hot_size]
+
+        # Seed optimistic histories for newly promoted candidates so
+        # re-budgeting can see their potential before any what-if call.
+        for stats in promoted:
+            key = _key(stats.index)
+            if key not in self._high_history:
+                history = BenefitHistory(self._config.history_epochs)
+                history.record(stats.smoothed_benefit)
+                self._high_history[key] = history
+        return [s.index for s in promoted]
+
+    def _improvement_ratio(self, optimistic: float, current: float) -> float:
+        if optimistic <= 0.0:
+            return 1.0
+        if current <= 0.0:
+            # Nothing materialized (or nothing worth keeping) while the
+            # hot set shows potential: maximal urgency.
+            return self._config.rebudget_knee
+        return max(1.0, optimistic / current)
+
+    def _budget_for(self, ratio: float) -> int:
+        """Linear map from the ratio to ``#WI_lim`` (0 at 1, max at knee)."""
+        knee = self._config.rebudget_knee
+        frac = (ratio - 1.0) / (knee - 1.0)
+        frac = min(1.0, max(0.0, frac))
+        return int(round(frac * self._config.max_whatif_per_epoch))
+
+
+def two_means_split(values: List[float]) -> int:
+    """Split a descending value list into two groups with minimal variance.
+
+    Returns:
+        The size of the top group (at least 1).  This is exact 2-means
+        in one dimension: every contiguous split of the sorted list is
+        scored by within-group sum of squared deviations.
+    """
+    if not values:
+        return 0
+    if len(values) == 1:
+        return 1
+    best_split = 1
+    best_score = float("inf")
+    for split in range(1, len(values)):
+        top, bottom = values[:split], values[split:]
+        score = _sse(top) + _sse(bottom)
+        if score < best_score:
+            best_score = score
+            best_split = split
+    return best_split
+
+
+def _sse(group: List[float]) -> float:
+    mean = sum(group) / len(group)
+    return sum((v - mean) ** 2 for v in group)
+

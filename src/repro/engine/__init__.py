@@ -1,0 +1,29 @@
+"""Relational engine substrate.
+
+This package implements the database substrate that the COLT tuner sits on
+top of: a catalog with statistics, columnar heap storage, B+tree indexes,
+and the cost parameters shared by the optimizer.  It deliberately mirrors
+the slice of PostgreSQL that the paper's prototype touches -- enough of a
+real engine that what-if optimization, index materialization, and query
+execution are all meaningful operations rather than stubs.
+"""
+
+from repro.engine.catalog import Catalog, ColumnDef, ColumnRef, TableDef
+from repro.engine.cost_params import CostParams
+from repro.engine.datatypes import DataType
+from repro.engine.index import IndexDef
+from repro.engine.stats import ColumnStats, Histogram
+from repro.engine.storage import HeapTable
+
+__all__ = [
+    "Catalog",
+    "ColumnDef",
+    "ColumnRef",
+    "ColumnStats",
+    "CostParams",
+    "DataType",
+    "Histogram",
+    "HeapTable",
+    "IndexDef",
+    "TableDef",
+]

@@ -1,0 +1,294 @@
+"""An in-memory B+tree for single-column indexes.
+
+The tree maps keys to lists of row identifiers (heap positions).  It
+supports point lookups, inclusive/exclusive range scans, incremental
+insertion, deletion, and sorted bulk loading -- everything the executor's
+index scan and the scheduler's index build need.
+
+The implementation is a classic order-``B`` B+tree with linked leaves.
+It is deliberately self-contained (no third-party tree library) because
+the paper's substrate includes the physical access method itself.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+DEFAULT_ORDER = 64
+
+
+class _Node:
+    __slots__ = ("keys", "children", "values", "next_leaf", "is_leaf")
+
+    def __init__(self, is_leaf: bool) -> None:
+        self.is_leaf = is_leaf
+        self.keys: List = []
+        self.children: List["_Node"] = []
+        self.values: List[List[int]] = []
+        self.next_leaf: Optional["_Node"] = None
+
+
+class BPlusTree:
+    """A B+tree mapping keys to lists of row ids.
+
+    Args:
+        order: Maximum number of keys per node; nodes split at ``order``
+            and hold at least ``order // 2`` keys (except the root).
+    """
+
+    def __init__(self, order: int = DEFAULT_ORDER) -> None:
+        if order < 4:
+            raise ValueError("B+tree order must be at least 4")
+        self._order = order
+        self._root = _Node(is_leaf=True)
+        self._size = 0
+
+    def __len__(self) -> int:
+        """Total number of (key, row id) entries."""
+        return self._size
+
+    @property
+    def height(self) -> int:
+        """Number of levels, 1 for a single-leaf tree."""
+        levels = 1
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+            levels += 1
+        return levels
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def bulk_load(
+        cls, pairs: Iterable[Tuple[object, int]], order: int = DEFAULT_ORDER
+    ) -> "BPlusTree":
+        """Build a tree from (key, row id) pairs in one pass.
+
+        The pairs are sorted by key and packed into leaves at full
+        occupancy, which is how the scheduler materializes indexes.
+        """
+        tree = cls(order=order)
+        grouped: List[Tuple[object, List[int]]] = []
+        for key, rid in sorted(pairs, key=lambda kv: kv[0]):
+            if grouped and grouped[-1][0] == key:
+                grouped[-1][1].append(rid)
+            else:
+                grouped.append((key, [rid]))
+        if not grouped:
+            return tree
+
+        leaves: List[_Node] = []
+        for start in range(0, len(grouped), order):
+            leaf = _Node(is_leaf=True)
+            chunk = grouped[start : start + order]
+            leaf.keys = [k for k, _ in chunk]
+            leaf.values = [list(v) for _, v in chunk]
+            if leaves:
+                leaves[-1].next_leaf = leaf
+            leaves.append(leaf)
+        tree._size = sum(len(v) for _, v in grouped)
+
+        level = leaves
+        while len(level) > 1:
+            parents: List[_Node] = []
+            for start in range(0, len(level), order):
+                parent = _Node(is_leaf=False)
+                chunk = level[start : start + order]
+                parent.children = chunk
+                parent.keys = [_min_key(child) for child in chunk[1:]]
+                parents.append(parent)
+            level = parents
+        tree._root = level[0]
+        return tree
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, key, rid: int) -> None:
+        """Insert one (key, row id) entry."""
+        split = self._insert(self._root, key, rid)
+        if split is not None:
+            sep, right = split
+            new_root = _Node(is_leaf=False)
+            new_root.keys = [sep]
+            new_root.children = [self._root, right]
+            self._root = new_root
+        self._size += 1
+
+    def delete(self, key, rid: int) -> bool:
+        """Remove one (key, row id) entry.
+
+        Returns:
+            True if the entry existed and was removed.  Underfull nodes
+            are tolerated (no rebalancing on delete); lookups remain
+            correct, which is sufficient for an index that is dropped and
+            rebuilt rather than heavily churned.
+        """
+        leaf = self._find_leaf(key)
+        idx = bisect.bisect_left(leaf.keys, key)
+        if idx >= len(leaf.keys) or leaf.keys[idx] != key:
+            return False
+        try:
+            leaf.values[idx].remove(rid)
+        except ValueError:
+            return False
+        if not leaf.values[idx]:
+            leaf.keys.pop(idx)
+            leaf.values.pop(idx)
+        self._size -= 1
+        return True
+
+    def _insert(self, node: _Node, key, rid: int) -> Optional[Tuple[object, _Node]]:
+        if node.is_leaf:
+            idx = bisect.bisect_left(node.keys, key)
+            if idx < len(node.keys) and node.keys[idx] == key:
+                node.values[idx].append(rid)
+            else:
+                node.keys.insert(idx, key)
+                node.values.insert(idx, [rid])
+            if len(node.keys) > self._order:
+                return self._split_leaf(node)
+            return None
+
+        idx = bisect.bisect_right(node.keys, key)
+        split = self._insert(node.children[idx], key, rid)
+        if split is None:
+            return None
+        sep, right = split
+        node.keys.insert(idx, sep)
+        node.children.insert(idx + 1, right)
+        if len(node.keys) > self._order:
+            return self._split_internal(node)
+        return None
+
+    def _split_leaf(self, node: _Node) -> Tuple[object, _Node]:
+        mid = len(node.keys) // 2
+        right = _Node(is_leaf=True)
+        right.keys = node.keys[mid:]
+        right.values = node.values[mid:]
+        node.keys = node.keys[:mid]
+        node.values = node.values[:mid]
+        right.next_leaf = node.next_leaf
+        node.next_leaf = right
+        return right.keys[0], right
+
+    def _split_internal(self, node: _Node) -> Tuple[object, _Node]:
+        mid = len(node.keys) // 2
+        sep = node.keys[mid]
+        right = _Node(is_leaf=False)
+        right.keys = node.keys[mid + 1 :]
+        right.children = node.children[mid + 1 :]
+        node.keys = node.keys[:mid]
+        node.children = node.children[: mid + 1]
+        return sep, right
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def search(self, key) -> List[int]:
+        """Row ids for an exact key match (empty list if absent)."""
+        leaf = self._find_leaf(key)
+        idx = bisect.bisect_left(leaf.keys, key)
+        if idx < len(leaf.keys) and leaf.keys[idx] == key:
+            return list(leaf.values[idx])
+        return []
+
+    def range_scan(
+        self,
+        low=None,
+        high=None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> Iterator[Tuple[object, int]]:
+        """Yield (key, row id) pairs with keys in the given range.
+
+        ``None`` bounds are unbounded.  Results are ordered by key and,
+        within a key, by insertion order.
+        """
+        leaf = self._leftmost_leaf() if low is None else self._find_leaf(low)
+        while leaf is not None:
+            for idx, key in enumerate(leaf.keys):
+                if low is not None:
+                    if key < low or (key == low and not low_inclusive):
+                        continue
+                if high is not None:
+                    if key > high or (key == high and not high_inclusive):
+                        return
+                for rid in leaf.values[idx]:
+                    yield key, rid
+            leaf = leaf.next_leaf
+
+    def keys(self) -> Iterator:
+        """All distinct keys in ascending order."""
+        leaf = self._leftmost_leaf()
+        while leaf is not None:
+            yield from leaf.keys
+            leaf = leaf.next_leaf
+
+    def items(self) -> Iterator[Tuple[object, Sequence[int]]]:
+        """All (key, row ids) groups in ascending key order."""
+        leaf = self._leftmost_leaf()
+        while leaf is not None:
+            yield from zip(leaf.keys, leaf.values)
+            leaf = leaf.next_leaf
+
+    def _find_leaf(self, key) -> _Node:
+        node = self._root
+        while not node.is_leaf:
+            idx = bisect.bisect_right(node.keys, key)
+            node = node.children[idx]
+        return node
+
+    def _leftmost_leaf(self) -> _Node:
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+        return node
+
+    # ------------------------------------------------------------------
+    # Invariant checking (used by property-based tests)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Verify structural B+tree invariants.
+
+        Raises:
+            AssertionError: if any invariant is violated.
+        """
+        self._check_node(self._root, lo=None, hi=None, is_root=True)
+        # Leaves are chained left-to-right and globally sorted.
+        prev = None
+        for key in self.keys():
+            if prev is not None:
+                assert prev < key, "leaf keys not strictly increasing"
+            prev = key
+
+    def _check_node(self, node: _Node, lo, hi, is_root: bool) -> int:
+        assert len(node.keys) <= self._order + 1, "node overflow"
+        for a, b in zip(node.keys, node.keys[1:]):
+            assert a < b, "node keys not sorted"
+        for key in node.keys:
+            if lo is not None:
+                assert key >= lo, "key below subtree bound"
+            if hi is not None:
+                assert key < hi, "key above subtree bound"
+        if node.is_leaf:
+            assert len(node.keys) == len(node.values), "leaf shape mismatch"
+            for rids in node.values:
+                assert rids, "empty rid list in leaf"
+            return 1
+        assert len(node.children) == len(node.keys) + 1, "internal shape"
+        depths = set()
+        bounds = [lo] + list(node.keys) + [hi]
+        for child, (clo, chi) in zip(node.children, zip(bounds, bounds[1:])):
+            depths.add(self._check_node(child, clo, chi, is_root=False))
+        assert len(depths) == 1, "unbalanced subtrees"
+        return depths.pop() + 1
+
+
+def _min_key(node: _Node):
+    while not node.is_leaf:
+        node = node.children[0]
+    return node.keys[0]

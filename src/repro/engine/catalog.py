@@ -1,0 +1,256 @@
+"""System catalog: tables, columns, statistics, and the index registry.
+
+The catalog is the single source of truth the optimizer consults.  It
+tracks which indexes are *materialized* (usable by plans) separately from
+the universe of *definable* indexes, which is what makes what-if
+optimization natural: a what-if call simply optimizes against a different
+materialized-set view (see ``repro.optimizer.whatif``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.engine.cost_params import CostParams
+from repro.engine.datatypes import DataType
+from repro.engine.index import IndexDef
+from repro.engine.stats import ColumnStats, default_stats_for
+
+
+@dataclasses.dataclass(frozen=True)
+class ColumnRef:
+    """A fully-qualified column reference (``table.column``)."""
+
+    table: str
+    column: str
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.column}"
+
+
+@dataclasses.dataclass
+class ColumnDef:
+    """Definition of one column.
+
+    Attributes:
+        name: Column name, unique within its table.
+        dtype: Scalar data type.
+        indexable: Whether COLT may propose an index on this column.
+            Mirrors the paper's count of "indexable attributes".
+    """
+
+    name: str
+    dtype: DataType
+    indexable: bool = True
+
+
+@dataclasses.dataclass
+class TableDef:
+    """Definition of one table plus its optimizer-visible statistics.
+
+    Attributes:
+        name: Table name, unique within the catalog.
+        columns: Ordered column definitions.
+        row_count: Statistical row count used by the cost model.  This may
+            describe a larger logical table than is physically stored (see
+            DESIGN.md on paper-scale statistics over sampled data).
+    """
+
+    name: str
+    columns: List[ColumnDef]
+    row_count: float = 0.0
+
+    def __post_init__(self) -> None:
+        self._by_name = {c.name: c for c in self.columns}
+        if len(self._by_name) != len(self.columns):
+            raise ValueError(f"duplicate column names in table {self.name!r}")
+
+    def column(self, name: str) -> ColumnDef:
+        """Look up a column by name.
+
+        Raises:
+            KeyError: if the column does not exist.
+        """
+        return self._by_name[name]
+
+    def has_column(self, name: str) -> bool:
+        """Whether the table defines a column with this name."""
+        return name in self._by_name
+
+    @property
+    def row_width(self) -> int:
+        """Average row payload width in bytes."""
+        return sum(c.dtype.width for c in self.columns)
+
+    def heap_pages(self, params: CostParams) -> float:
+        """Heap size in pages under the statistical row count."""
+        return params.heap_pages(self.row_count, self.row_width)
+
+
+class Catalog:
+    """The system catalog.
+
+    Holds table definitions, per-column statistics, the set of currently
+    materialized indexes, and the cost parameters.  All mutation of the
+    physical design (create/drop index) goes through this class so that
+    the tuner, optimizer and executor always agree on the configuration.
+    """
+
+    def __init__(self, params: Optional[CostParams] = None) -> None:
+        self.params = params or CostParams()
+        self._tables: Dict[str, TableDef] = {}
+        self._stats: Dict[Tuple[str, str], ColumnStats] = {}
+        self._materialized: Dict[Tuple[str, Tuple[str, ...]], IndexDef] = {}
+        self._views: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    # Tables and columns
+    # ------------------------------------------------------------------
+    def add_table(self, table: TableDef) -> None:
+        """Register a table definition.
+
+        Raises:
+            ValueError: if a table with the same name already exists.
+        """
+        if table.name in self._tables:
+            raise ValueError(f"table {table.name!r} already exists")
+        self._tables[table.name] = table
+
+    def table(self, name: str) -> TableDef:
+        """Look up a table by name.
+
+        Raises:
+            KeyError: if the table does not exist.
+        """
+        return self._tables[name]
+
+    def has_table(self, name: str) -> bool:
+        """Whether a table with this name exists."""
+        return name in self._tables
+
+    def tables(self) -> List[TableDef]:
+        """All table definitions, in registration order."""
+        return list(self._tables.values())
+
+    def indexable_columns(self) -> List[ColumnRef]:
+        """All (table, column) pairs on which an index may be defined."""
+        refs = []
+        for table in self._tables.values():
+            for col in table.columns:
+                if col.indexable:
+                    refs.append(ColumnRef(table.name, col.name))
+        return refs
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def set_stats(self, table: str, column: str, stats: ColumnStats) -> None:
+        """Install statistics for a column (ANALYZE or declared)."""
+        tdef = self.table(table)
+        if not tdef.has_column(column):
+            raise KeyError(f"no column {column!r} in table {table!r}")
+        self._stats[(table, column)] = stats
+
+    def stats(self, table: str, column: str) -> ColumnStats:
+        """Statistics for a column, falling back to type defaults."""
+        key = (table, column)
+        if key in self._stats:
+            return self._stats[key]
+        tdef = self.table(table)
+        return default_stats_for(tdef.column(column).dtype, tdef.row_count)
+
+    # ------------------------------------------------------------------
+    # Indexes
+    # ------------------------------------------------------------------
+    def index_for(self, table: str, column: str) -> IndexDef:
+        """The canonical single-column :class:`IndexDef` for a column."""
+        dtype = self.table(table).column(column).dtype
+        return IndexDef(table=table, column=column, dtype=dtype)
+
+    def composite_index_for(self, table: str, columns: Iterable[str]) -> IndexDef:
+        """The canonical composite :class:`IndexDef` over ordered columns.
+
+        Raises:
+            ValueError: for fewer than one column or duplicates.
+        """
+        names = list(columns)
+        if not names:
+            raise ValueError("an index needs at least one column")
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate columns in composite index: {names}")
+        tdef = self.table(table)
+        dtypes = [tdef.column(name).dtype for name in names]
+        return IndexDef(
+            table=table,
+            column=names[0],
+            dtype=dtypes[0],
+            extra_columns=tuple(zip(names[1:], dtypes[1:])),
+        )
+
+    def materialize_index(self, index: IndexDef) -> None:
+        """Mark an index as materialized (usable by the optimizer)."""
+        self._materialized[(index.table, index.columns)] = index
+
+    def drop_index(self, index: IndexDef) -> None:
+        """Remove an index from the materialized set (no-op if absent)."""
+        self._materialized.pop((index.table, index.columns), None)
+
+    def is_materialized(self, index: IndexDef) -> bool:
+        """Whether this index is currently materialized."""
+        return (index.table, index.columns) in self._materialized
+
+    def materialized_indexes(self, table: Optional[str] = None) -> List[IndexDef]:
+        """Materialized indexes, optionally restricted to one table."""
+        indexes = self._materialized.values()
+        if table is not None:
+            return [ix for ix in indexes if ix.table == table]
+        return list(indexes)
+
+    def materialized_size_pages(self) -> float:
+        """Total pages consumed by the materialized set."""
+        return sum(self.index_size_pages(ix) for ix in self._materialized.values())
+
+    def index_size_pages(self, index: IndexDef) -> float:
+        """Estimated size of one index in pages."""
+        return index.size_pages(self.table(index.table).row_count, self.params)
+
+    def index_build_cost(self, index: IndexDef) -> float:
+        """Estimated cost of materializing one index, in cost units."""
+        table = self.table(index.table)
+        return index.materialization_cost(
+            table.row_count, table.heap_pages(self.params), self.params
+        )
+
+    # ------------------------------------------------------------------
+    # Materialized views (extension; see repro.engine.matview)
+    # ------------------------------------------------------------------
+    def materialize_view(self, view) -> None:
+        """Register a materialized view (usable by the optimizer).
+
+        Raises:
+            ValueError: if a different view with the same name exists.
+        """
+        existing = self._views.get(view.name)
+        if existing is not None and existing != view:
+            raise ValueError(f"view {view.name!r} already exists")
+        self._views[view.name] = view
+
+    def drop_view(self, view) -> None:
+        """Remove a materialized view (no-op if absent)."""
+        self._views.pop(view.name, None)
+
+    def materialized_views(self, table: Optional[str] = None) -> List:
+        """Registered views, optionally restricted to one base table."""
+        views = list(self._views.values())
+        if table is not None:
+            return [v for v in views if v.table == table]
+        return views
+
+    # ------------------------------------------------------------------
+    # Bulk helpers
+    # ------------------------------------------------------------------
+    def analyze_table(self, table: str, columns: Dict[str, Iterable]) -> None:
+        """Measure and install statistics for the given column values."""
+        for name, values in columns.items():
+            self.set_stats(table, name, ColumnStats.from_values(list(values)))

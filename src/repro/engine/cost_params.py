@@ -1,0 +1,91 @@
+"""Cost model parameters.
+
+The constants mirror PostgreSQL's planner GUCs, since the paper's prototype
+was built inside PostgreSQL and its what-if answers are therefore expressed
+in the same cost units.  All engine and optimizer cost arithmetic flows
+through a single :class:`CostParams` instance so that experiments can vary
+the cost landscape (e.g. cheap vs. expensive random I/O) without touching
+the formulas.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class CostParams:
+    """Planner cost constants, in abstract "cost units".
+
+    One cost unit corresponds to one sequential page fetch, following the
+    PostgreSQL convention.  The remaining constants are expressed relative
+    to that anchor.
+
+    Attributes:
+        seq_page_cost: Cost of reading one page sequentially.
+        random_page_cost: Cost of reading one page at a random offset.
+        cpu_tuple_cost: CPU cost of processing one heap tuple.
+        cpu_index_tuple_cost: CPU cost of processing one index entry.
+        cpu_operator_cost: CPU cost of evaluating one operator/function.
+        page_size: Bytes per page, used to convert row widths into pages.
+        index_build_cpu_per_tuple: CPU cost per tuple when bulk-building a
+            B+tree (read + sort + load amortized per tuple).
+        index_maintain_cost_per_tuple: Cost of keeping ONE index up to
+            date for ONE inserted tuple (a descent plus a leaf write,
+            amortized).  This is the write penalty the write-aware
+            tuning extension charges against NetBenefit.
+        hash_mem_pages: Pages of workspace assumed available to hash joins;
+            beyond this the join is charged for spill passes.
+        tuple_header_bytes: Per-tuple storage overhead in heap pages.
+        index_entry_overhead_bytes: Per-entry overhead in index leaf pages.
+        index_fill_factor: Fraction of each index page left filled by a
+            bulk build.
+    """
+
+    seq_page_cost: float = 1.0
+    random_page_cost: float = 4.0
+    cpu_tuple_cost: float = 0.01
+    cpu_index_tuple_cost: float = 0.005
+    cpu_operator_cost: float = 0.0025
+    page_size: int = 8192
+    index_build_cpu_per_tuple: float = 0.02
+    # A maintained insert costs roughly a B+tree descent plus a dirtied
+    # leaf page -- on the order of a random page access.
+    index_maintain_cost_per_tuple: float = 2.0
+    hash_mem_pages: int = 4096
+    tuple_header_bytes: int = 28
+    index_entry_overhead_bytes: int = 12
+    index_fill_factor: float = 0.9
+
+    def heap_pages(self, row_count: float, row_width: int) -> float:
+        """Number of heap pages needed for ``row_count`` rows.
+
+        Args:
+            row_count: Number of rows (may be fractional for estimates).
+            row_width: Average payload width of one row in bytes.
+
+        Returns:
+            Page count, at least 1 for any non-empty relation.
+        """
+        if row_count <= 0:
+            return 0.0
+        per_page = max(1, self.page_size // (row_width + self.tuple_header_bytes))
+        return max(1.0, row_count / per_page)
+
+    def index_pages(self, row_count: float, key_width: int) -> float:
+        """Number of leaf pages in a B+tree over ``row_count`` keys."""
+        if row_count <= 0:
+            return 0.0
+        entry = key_width + self.index_entry_overhead_bytes
+        per_page = max(1, int(self.page_size * self.index_fill_factor) // entry)
+        return max(1.0, row_count / per_page)
+
+    def index_height(self, leaf_pages: float) -> int:
+        """Height of the B+tree above the leaf level (descent steps)."""
+        height = 1
+        fanout = 256.0
+        pages = leaf_pages
+        while pages > 1.0:
+            pages /= fanout
+            height += 1
+        return height

@@ -1,0 +1,145 @@
+"""Materialized views: the paper's other future-work access structure.
+
+§2 names materialized views alongside multi-column indexes as the
+natural generalization of COLT's single-column setting.  This module
+provides the *engine* support: predicate-restricted single-table views
+("the lineitems shipped in 1994"), containment-based matching in the
+optimizer (a query whose predicate range falls inside the view's range
+can scan the much smaller view instead of the base table), physical
+materialization, and a what-if-style gain evaluator.
+
+Automatic *selection* of views by the on-line tuner is left as future
+work here too: view candidates interact (a view subsumes another), their
+sizes depend on data rather than a key width, and the paper's KNAPSACK
+independence assumption breaks down badly — a deliberate scope cut,
+documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+from repro.engine.catalog import Catalog
+from repro.sql.ast import BetweenPredicate, ColumnExpr, Query
+
+
+@dataclasses.dataclass(frozen=True)
+class ViewDef:
+    """A predicate-restricted single-table materialized view.
+
+    The view contains every row of ``table`` whose ``column`` value lies
+    in ``[low, high]`` (all columns projected).  This is the simplest
+    view shape with non-trivial matching semantics: a query predicate
+    *contained* in the view range can be answered from the view.
+
+    Attributes:
+        name: View name, unique within the catalog.
+        table: Base table.
+        column: Restriction column.
+        low / high: Inclusive restriction bounds (engine representation).
+    """
+
+    name: str
+    table: str
+    column: str
+    low: object
+    high: object
+
+    def predicate(self) -> BetweenPredicate:
+        """The view's restriction as a bound predicate."""
+        return BetweenPredicate(
+            column=ColumnExpr(self.column, self.table), low=self.low, high=self.high
+        )
+
+    def contains_range(self, low, high) -> bool:
+        """Whether ``[low, high]`` is contained in the view's range."""
+        return self.low <= low and high <= self.high
+
+
+def view_row_count(catalog: Catalog, view: ViewDef) -> float:
+    """Estimated number of rows in a view, from base-table statistics."""
+    from repro.optimizer.selectivity import predicate_selectivity
+
+    base = catalog.table(view.table).row_count
+    return max(1.0, base * predicate_selectivity(catalog, view.predicate()))
+
+
+def view_size_pages(catalog: Catalog, view: ViewDef) -> float:
+    """Estimated size of a view in pages (full-width rows)."""
+    table = catalog.table(view.table)
+    return catalog.params.heap_pages(view_row_count(catalog, view), table.row_width)
+
+
+def matching_view(
+    catalog: Catalog, table: str, filters: Sequence, views: Sequence[ViewDef]
+) -> Optional[ViewDef]:
+    """The smallest registered view that can answer the given filters.
+
+    A view matches when some filter on the view's restriction column
+    constrains the query to a sub-range of the view.  All original
+    filters are still applied on top of the view scan (the view only
+    shrinks the data scanned), so matching is conservative-safe.
+    """
+    from repro.sql.ast import CompareOp, ComparisonPredicate
+
+    best: Optional[ViewDef] = None
+    best_rows = float("inf")
+    for view in views:
+        if view.table != table:
+            continue
+        for pred in filters:
+            if pred.column.column != view.column:
+                continue
+            if isinstance(pred, BetweenPredicate):
+                low, high = pred.low, pred.high
+            elif (
+                isinstance(pred, ComparisonPredicate)
+                and pred.op is CompareOp.EQ
+            ):
+                low = high = pred.value
+            else:
+                continue
+            if view.contains_range(low, high):
+                rows = view_row_count(catalog, view)
+                if rows < best_rows:
+                    best, best_rows = view, rows
+    return best
+
+
+def view_gain(optimizer, view: ViewDef, queries: Sequence[Query]) -> float:
+    """What-if-style gain of materializing ``view`` for a workload.
+
+    Measures total optimizer cost with and without the view registered
+    (the view is removed again afterwards; the catalog is left exactly
+    as found).
+
+    Returns:
+        Total workload cost saved (>= 0 unless registration perturbs
+        nothing, in which case 0).
+    """
+    from repro.optimizer.optimizer import PlanCache
+
+    catalog = optimizer.catalog
+    was_registered = view in catalog.materialized_views()
+
+    def total() -> float:
+        return sum(
+            optimizer.optimize(q, cache=PlanCache()).cost for q in queries
+        )
+
+    if not was_registered:
+        without = total()
+        catalog.materialize_view(view)
+        try:
+            with_view = total()
+        finally:
+            catalog.drop_view(view)
+        return max(0.0, without - with_view)
+    with_view = total()
+    catalog.drop_view(view)
+    try:
+        without = total()
+    finally:
+        catalog.materialize_view(view)
+    return max(0.0, without - with_view)

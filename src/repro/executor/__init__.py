@@ -1,0 +1,16 @@
+"""Volcano-style query executor.
+
+Mirrors the optimizer's plan tree one-to-one with pull-based iterators
+over the physical store.  Rows flow through the tree as dictionaries
+keyed by ``(table, column)`` pairs, which makes predicate evaluation and
+join-key extraction uniform regardless of plan shape.
+
+The executor exists so the reproduction is a *database*, not just a cost
+model: examples and integration tests run queries for real and check that
+index-assisted plans return the same rows as sequential plans.
+"""
+
+from repro.executor.executor import execute, execute_query
+from repro.executor.instrument import CountingStore, ExecutionCounters
+
+__all__ = ["CountingStore", "ExecutionCounters", "execute", "execute_query"]

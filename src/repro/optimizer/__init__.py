@@ -1,0 +1,24 @@
+"""Cost-based query optimizer with a what-if interface.
+
+The optimizer is Selinger-style: per-relation access path selection (seq
+scan vs. index scan) followed by dynamic-programming join enumeration.
+Costs are computed from catalog statistics using the formulas of
+``repro.engine.cost_params``, which mirror PostgreSQL's planner.
+
+The :class:`~repro.optimizer.whatif.WhatIfOptimizer` wraps the plain
+optimizer with the interface the paper assumes: ``WhatIfOptimize(q, P)``
+returns, for each index in the probation set ``P``, the change in the
+optimal cost of ``q`` if that index's materialization status were flipped.
+"""
+
+from repro.optimizer.optimizer import OptimizationResult, Optimizer
+from repro.optimizer.plan import PlanNode, explain
+from repro.optimizer.whatif import WhatIfOptimizer
+
+__all__ = [
+    "OptimizationResult",
+    "Optimizer",
+    "PlanNode",
+    "WhatIfOptimizer",
+    "explain",
+]

@@ -1,0 +1,407 @@
+"""Per-relation access path selection.
+
+For each base table the optimizer considers a sequential scan and one
+index scan per applicable materialized (or hypothetical) index, picking
+the cheapest.  The index scan cost model follows PostgreSQL's: B+tree
+descent, leaf traversal, and heap fetches whose randomness is
+interpolated by the column's physical-order correlation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import FrozenSet, List, Optional, Tuple
+
+from repro.engine.catalog import Catalog
+from repro.engine.index import IndexDef
+from repro.optimizer.plan import IndexScanNode, PlanNode, SeqScanNode
+from repro.optimizer.selectivity import combined_selectivity, operator_count
+from repro.sql.ast import (
+    BetweenPredicate,
+    CompareOp,
+    ComparisonPredicate,
+    InPredicate,
+)
+
+IndexConfig = FrozenSet[IndexDef]
+
+
+@dataclasses.dataclass
+class _Sargable:
+    """Predicates decomposed for index use.
+
+    For a single-column index either ``lookup_value``, ``in_values``, or
+    the range bounds are set.  For a composite index, ``prefix_values``
+    holds the values of equality predicates on the leading key columns
+    (in key order); the remaining fields then describe the predicate on
+    the first non-equality key column, if any.
+    """
+
+    consumed: List
+    lookup_value: object = None
+    in_values: Optional[Tuple] = None
+    range_low: object = None
+    range_high: object = None
+    low_inclusive: bool = True
+    high_inclusive: bool = True
+    prefix_values: Tuple = ()
+
+    @property
+    def num_lookups(self) -> int:
+        if self.lookup_value is not None:
+            return 1
+        if self.in_values is not None:
+            return len(self.in_values)
+        return 1
+
+
+def seq_scan_path(catalog: Catalog, table: str, filters: List) -> SeqScanNode:
+    """Build a sequential scan path with its cost and cardinality."""
+    params = catalog.params
+    tdef = catalog.table(table)
+    rows = tdef.row_count
+    pages = tdef.heap_pages(params)
+    sel = combined_selectivity(catalog, filters)
+    cost = (
+        pages * params.seq_page_cost
+        + rows * params.cpu_tuple_cost
+        + rows * operator_count(filters) * params.cpu_operator_cost
+    )
+    return SeqScanNode(rows=max(1.0, rows * sel), cost=cost, table=table, filters=filters)
+
+
+def index_paths(
+    catalog: Catalog, table: str, filters: List, config: IndexConfig
+) -> List[IndexScanNode]:
+    """All applicable index scan paths for ``table`` under ``config``."""
+    paths: List[IndexScanNode] = []
+    for index in sorted(config, key=lambda ix: ix.name):
+        if index.table != table:
+            continue
+        sarg = extract_for_index(index, filters)
+        if sarg is None:
+            continue
+        residual = [f for f in filters if f not in sarg.consumed]
+        index_sel = combined_selectivity(catalog, sarg.consumed)
+        total_sel = combined_selectivity(catalog, filters)
+        cost = _index_scan_cost(
+            catalog, table, index, index_sel, sarg.num_lookups, residual
+        )
+        rows = max(1.0, catalog.table(table).row_count * total_sel)
+        paths.append(
+            IndexScanNode(
+                rows=rows,
+                cost=cost,
+                table=table,
+                index=index,
+                lookup_value=sarg.lookup_value,
+                range_low=sarg.range_low,
+                range_high=sarg.range_high,
+                residual=residual,
+                in_values=sarg.in_values,
+                low_inclusive=sarg.low_inclusive,
+                high_inclusive=sarg.high_inclusive,
+                prefix_values=sarg.prefix_values,
+            )
+        )
+    return paths
+
+
+def best_access_path(
+    catalog: Catalog, table: str, filters: List, config: IndexConfig
+) -> PlanNode:
+    """The cheapest access path for one relation.
+
+    Considers the sequential scan, one index scan per applicable index
+    in ``config``, and -- when a registered materialized view's range
+    contains the query's predicate -- a scan of the (smaller) view.
+    """
+    best: PlanNode = seq_scan_path(catalog, table, filters)
+    for path in index_paths(catalog, table, filters, config):
+        if path.cost < best.cost:
+            best = path
+    view_path = _view_scan_path(catalog, table, filters)
+    if view_path is not None and view_path.cost < best.cost:
+        best = view_path
+    return best
+
+
+def _view_scan_path(catalog: Catalog, table: str, filters: List):
+    """A view scan path, if a registered view matches the filters."""
+    from repro.engine.matview import matching_view, view_row_count
+    from repro.optimizer.plan import ViewScanNode
+
+    views = catalog.materialized_views(table)
+    if not views:
+        return None
+    view = matching_view(catalog, table, filters, views)
+    if view is None:
+        return None
+    params = catalog.params
+    tdef = catalog.table(table)
+    rows_in_view = view_row_count(catalog, view)
+    pages = params.heap_pages(rows_in_view, tdef.row_width)
+    sel = combined_selectivity(catalog, filters)
+    cost = (
+        pages * params.seq_page_cost
+        + rows_in_view * params.cpu_tuple_cost
+        + rows_in_view * operator_count(filters) * params.cpu_operator_cost
+    )
+    return ViewScanNode(
+        rows=max(1.0, tdef.row_count * sel),
+        cost=cost,
+        table=table,
+        view=view,
+        filters=filters,
+    )
+
+
+def parameterized_index_path(
+    catalog: Catalog,
+    table: str,
+    filters: List,
+    inner_column: str,
+    outer_column,
+    config: IndexConfig,
+) -> Optional[IndexScanNode]:
+    """Inner side of an index nested-loop join, if an index permits it.
+
+    The returned node's ``cost`` and ``rows`` are *per outer tuple* --
+    the join node multiplies them by the outer cardinality.
+
+    Args:
+        catalog: Catalog with statistics.
+        table: Inner relation.
+        filters: Inner relation's single-table filters (become residual).
+        inner_column: Join column on the inner relation.
+        outer_column: The outer :class:`~repro.sql.ast.ColumnExpr`
+            supplying lookup keys at run time.
+        config: Available indexes.
+
+    Returns:
+        A parameterized index scan, or None if no index on the join
+        column is available in ``config``.
+    """
+    index = next(
+        (
+            ix
+            for ix in config
+            if ix.table == table and ix.column == inner_column
+        ),
+        None,
+    )
+    if index is None:
+        return None
+    tdef = catalog.table(table)
+    stats = catalog.stats(table, inner_column)
+    join_sel = 1.0 / max(1.0, stats.n_distinct)
+    filter_sel = combined_selectivity(catalog, filters)
+    cost = _index_scan_cost(catalog, table, index, join_sel, 1, filters)
+    rows = max(1e-6, tdef.row_count * join_sel * filter_sel)
+    return IndexScanNode(
+        rows=rows,
+        cost=cost,
+        table=table,
+        index=index,
+        residual=filters,
+        parameterized_by=outer_column,
+    )
+
+
+def _index_scan_cost(
+    catalog: Catalog,
+    table: str,
+    index: IndexDef,
+    index_sel: float,
+    num_lookups: int,
+    residual: List,
+) -> float:
+    """Cost of an index scan fetching ``index_sel`` of the table.
+
+    Components: B+tree descent per lookup, leaf-level traversal, heap
+    fetches (correlation-interpolated between sequential and random), and
+    CPU for index entries, heap tuples, and residual predicate evaluation.
+    """
+    params = catalog.params
+    tdef = catalog.table(table)
+    rows = tdef.row_count
+    heap_pages = tdef.heap_pages(params)
+    stats = catalog.stats(table, index.column)
+
+    tuples = max(0.0, index_sel * rows)
+    leaf_pages = params.index_pages(rows, index.key_width)
+    height = params.index_height(leaf_pages)
+
+    descent_io = num_lookups * height * params.random_page_cost
+    leaf_walk = max(0.0, index_sel * leaf_pages - num_lookups) * params.seq_page_cost
+
+    # A scan cannot fetch more distinct heap pages than exist; repeat
+    # visits are assumed to hit the buffer cache (Mackert-Lohman style).
+    pages_random = min(tuples, heap_pages)
+    pages_seq = min(heap_pages, max(1.0, index_sel * heap_pages)) if tuples > 0 else 0.0
+    c2 = stats.correlation * stats.correlation
+    heap_io = (
+        c2 * pages_seq * params.seq_page_cost
+        + (1.0 - c2) * pages_random * params.random_page_cost
+    )
+
+    cpu = (
+        tuples * params.cpu_index_tuple_cost
+        + tuples * params.cpu_tuple_cost
+        + tuples * operator_count(residual) * params.cpu_operator_cost
+    )
+    return descent_io + leaf_walk + heap_io + cpu
+
+
+def extract_for_index(index: IndexDef, filters: List) -> Optional[_Sargable]:
+    """Decompose the filters into index-usable form for any index.
+
+    Single-column indexes use the classic eq > IN > range preference.
+    Composite indexes consume equality predicates along the key prefix
+    (each extending ``prefix_values``), then at most one more predicate
+    on the next key column: an equality (extending the prefix further),
+    an IN list (only when it lands on the last key column, where it
+    becomes multiple full-key lookups), or a range.  Returns None when
+    the leading key column has no usable predicate.
+    """
+    if not index.is_composite:
+        return _extract_sargable(index.column, filters)
+
+    columns = index.columns
+    prefix: List = []
+    consumed: List = []
+    for position, column in enumerate(columns):
+        eq = next(
+            (
+                f
+                for f in filters
+                if isinstance(f, ComparisonPredicate)
+                and f.column.column == column
+                and f.op is CompareOp.EQ
+                and f not in consumed
+            ),
+            None,
+        )
+        if eq is not None:
+            prefix.append(eq.value)
+            consumed.append(eq)
+            continue
+        # First non-equality key column: try IN (last column only) or a
+        # range, then stop descending the key.
+        tail = _extract_sargable(column, [f for f in filters if f not in consumed])
+        if tail is None:
+            break
+        if tail.in_values is not None and position != len(columns) - 1:
+            break  # IN mid-key cannot be turned into full-key lookups
+        if tail.lookup_value is not None:  # pragma: no cover - eq handled above
+            break
+        return _Sargable(
+            consumed=consumed + tail.consumed,
+            in_values=tail.in_values,
+            range_low=tail.range_low,
+            range_high=tail.range_high,
+            low_inclusive=tail.low_inclusive,
+            high_inclusive=tail.high_inclusive,
+            prefix_values=tuple(prefix),
+        )
+    if not prefix:
+        return None
+    if len(prefix) == len(columns):
+        # Full-key equality: a single point lookup.
+        return _Sargable(
+            consumed=consumed,
+            lookup_value=prefix[-1],
+            prefix_values=tuple(prefix[:-1]),
+        )
+    return _Sargable(consumed=consumed, prefix_values=tuple(prefix))
+
+
+def _extract_sargable(column: str, filters: List) -> Optional[_Sargable]:
+    """Decompose the filters on ``column`` into index-usable form.
+
+    Preference order: a point lookup (EQ) beats an IN list beats a range.
+    Returns None if no filter on the column is sargable.
+    """
+    eq_pred = None
+    in_pred = None
+    range_preds = []
+    for pred in filters:
+        if pred.column.column != column:
+            continue
+        if isinstance(pred, ComparisonPredicate):
+            if pred.op is CompareOp.EQ and eq_pred is None:
+                eq_pred = pred
+            elif pred.op in (CompareOp.LT, CompareOp.LE, CompareOp.GT, CompareOp.GE):
+                range_preds.append(pred)
+        elif isinstance(pred, BetweenPredicate):
+            range_preds.append(pred)
+        elif isinstance(pred, InPredicate) and in_pred is None:
+            in_pred = pred
+
+    if eq_pred is not None:
+        return _Sargable(consumed=[eq_pred], lookup_value=eq_pred.value)
+    if in_pred is not None:
+        return _Sargable(consumed=[in_pred], in_values=tuple(in_pred.values))
+    if not range_preds:
+        return None
+
+    sarg = _Sargable(consumed=[])
+    for pred in range_preds:
+        if isinstance(pred, BetweenPredicate):
+            sarg = _tighten(sarg, pred.low, True, is_low=True)
+            sarg = _tighten(sarg, pred.high, True, is_low=False)
+        elif pred.op in (CompareOp.GT, CompareOp.GE):
+            sarg = _tighten(sarg, pred.value, pred.op is CompareOp.GE, is_low=True)
+        else:
+            sarg = _tighten(sarg, pred.value, pred.op is CompareOp.LE, is_low=False)
+        sarg.consumed.append(pred)
+    if sarg.range_low is None and sarg.range_high is None:
+        return None
+    return sarg
+
+
+def _tighten(sarg: _Sargable, bound, inclusive: bool, is_low: bool) -> _Sargable:
+    if is_low:
+        if sarg.range_low is None or bound > sarg.range_low or (
+            bound == sarg.range_low and not inclusive
+        ):
+            sarg.range_low = bound
+            sarg.low_inclusive = inclusive
+    else:
+        if sarg.range_high is None or bound < sarg.range_high or (
+            bound == sarg.range_high and not inclusive
+        ):
+            sarg.range_high = bound
+            sarg.high_inclusive = inclusive
+    return sarg
+
+
+def selectivity_of_index_predicates(catalog: Catalog, index: IndexDef, filters: List) -> float:
+    """Selectivity of the filters ``index`` would absorb.
+
+    Exposed for COLT's crude benefit model (``BenefitC``), which needs the
+    same sargability decision the optimizer makes without paying for a
+    full optimization.
+    """
+    sarg = extract_for_index(index, filters)
+    if sarg is None:
+        return 1.0
+    return combined_selectivity(catalog, sarg.consumed)
+
+
+def crude_index_delta_cost(catalog: Catalog, index: IndexDef, filters: List) -> float:
+    """Crude gain of evaluating the filters with ``index`` vs. a seq scan.
+
+    This is the paper's ``Δcost(R, σ, I)``: standard cost formulas, no
+    optimizer invocation.  Returns 0 when the index is inapplicable or
+    does not beat the sequential scan.
+    """
+    sarg = extract_for_index(index, filters)
+    if sarg is None:
+        return 0.0
+    table = index.table
+    seq = seq_scan_path(catalog, table, filters)
+    index_sel = combined_selectivity(catalog, sarg.consumed)
+    residual = [f for f in filters if f not in sarg.consumed]
+    cost = _index_scan_cost(catalog, table, index, index_sel, sarg.num_lookups, residual)
+    return max(0.0, seq.cost - cost)

@@ -1,0 +1,218 @@
+"""Optimizer facade.
+
+``Optimizer.optimize(query, config)`` returns the cheapest physical plan
+for a bound query under a given index configuration, together with its
+cost.  A per-query :class:`PlanCache` memoizes access paths keyed by the
+subset of the configuration that is *relevant to each table*; this is the
+"reuse intermediate solutions from the initial query optimization" trick
+the paper's prototype uses to make consecutive what-if calls cheap.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.engine.catalog import Catalog
+from repro.engine.index import IndexDef
+from repro.optimizer.access import IndexConfig, best_access_path
+from repro.optimizer.joins import JoinPlanner
+from repro.optimizer.plan import (
+    AggregateNode,
+    IndexScanNode,
+    LimitNode,
+    PlanNode,
+    ProjectNode,
+    SortNode,
+)
+from repro.sql.ast import Aggregate, Query
+
+
+@dataclasses.dataclass
+class OptimizationResult:
+    """Outcome of one optimization.
+
+    Attributes:
+        plan: The chosen physical plan.
+        cost: The plan's total estimated cost (same as ``plan.cost``).
+        config: The index configuration the plan was optimized under.
+    """
+
+    plan: PlanNode
+    cost: float
+    config: IndexConfig
+
+
+class PlanCache:
+    """Per-query cache of access paths and complete plans.
+
+    Keys access paths by (table, relevant-index subset) so a what-if call
+    that hypothesizes an index on table R reuses every other table's path
+    untouched, and caches whole plans by the relevant-config signature so
+    repeated what-if calls with identical effective configurations are
+    free.
+    """
+
+    def __init__(self) -> None:
+        self.access_paths: Dict[Tuple[str, FrozenSet[IndexDef]], PlanNode] = {}
+        self.plans: Dict[FrozenSet[IndexDef], OptimizationResult] = {}
+        self.hits = 0
+        self.misses = 0
+
+
+class Optimizer:
+    """Cost-based optimizer over a catalog.
+
+    Attributes:
+        optimize_count: Number of full optimizations performed, across
+            normal and what-if use; exposed for overhead accounting.
+    """
+
+    def __init__(self, catalog: Catalog) -> None:
+        self._catalog = catalog
+        self.optimize_count = 0
+
+    @property
+    def catalog(self) -> Catalog:
+        """The catalog this optimizer plans against."""
+        return self._catalog
+
+    def current_config(self) -> IndexConfig:
+        """The currently materialized index set, as a configuration."""
+        return frozenset(self._catalog.materialized_indexes())
+
+    def optimize(
+        self,
+        query: Query,
+        config: Optional[IndexConfig] = None,
+        cache: Optional[PlanCache] = None,
+    ) -> OptimizationResult:
+        """Find the cheapest plan for ``query`` under ``config``.
+
+        Args:
+            query: A bound query.
+            config: Index configuration; defaults to the catalog's
+                materialized set.
+            cache: Optional per-query cache shared across what-if calls.
+
+        Returns:
+            The optimization result with plan and cost.
+        """
+        if config is None:
+            config = self.current_config()
+        relevant = self._relevant_config(query, config)
+        if cache is not None and relevant in cache.plans:
+            cache.hits += 1
+            return cache.plans[relevant]
+
+        self.optimize_count += 1
+        if cache is not None:
+            cache.misses += 1
+
+        access_paths: Dict[str, PlanNode] = {}
+        for table in query.tables:
+            table_config = frozenset(ix for ix in relevant if ix.table == table)
+            key = (table, table_config)
+            if cache is not None and key in cache.access_paths:
+                access_paths[table] = cache.access_paths[key]
+            else:
+                path = best_access_path(
+                    self._catalog, table, query.filters_on(table), table_config
+                )
+                access_paths[table] = path
+                if cache is not None:
+                    cache.access_paths[key] = path
+
+        planner = JoinPlanner(self._catalog, query, relevant)
+        plan = planner.plan(access_paths)
+        plan = self._finalize(query, plan)
+        result = OptimizationResult(plan=plan, cost=plan.cost, config=config)
+        if cache is not None:
+            cache.plans[relevant] = result
+        return result
+
+    # ------------------------------------------------------------------
+    def _relevant_config(self, query: Query, config: IndexConfig) -> IndexConfig:
+        """Restrict a configuration to indexes that could affect the query.
+
+        An index is relevant if its table appears in the query and its
+        column is referenced by a filter or join predicate.
+        """
+        tables = set(query.tables)
+        referenced = {
+            (c.table, c.column)
+            for c in query.selection_columns() + query.join_columns()
+        }
+        return frozenset(
+            ix
+            for ix in config
+            if ix.table in tables and (ix.table, ix.column) in referenced
+        )
+
+    def _finalize(self, query: Query, plan: PlanNode) -> PlanNode:
+        """Stack aggregation / sort / limit / projection above the join tree."""
+        params = self._catalog.params
+        aggregates = [
+            item.expr for item in query.select if isinstance(item.expr, Aggregate)
+        ]
+        if aggregates or query.group_by:
+            groups = self._group_count(query, plan.rows)
+            cost = (
+                plan.cost
+                + plan.rows
+                * (len(aggregates) + len(query.group_by) + 1)
+                * params.cpu_operator_cost
+                + groups * params.cpu_tuple_cost
+            )
+            plan = AggregateNode(
+                rows=groups,
+                cost=cost,
+                child=plan,
+                group_by=list(query.group_by),
+                aggregates=aggregates,
+                output=list(query.select),
+            )
+        if query.order_by and not _provides_order(plan, query.order_by):
+            n = max(2.0, plan.rows)
+            cost = plan.cost + 2.0 * n * math.log2(n) * params.cpu_operator_cost
+            plan = SortNode(rows=plan.rows, cost=cost, child=plan, keys=list(query.order_by))
+        if query.limit is not None:
+            rows = min(float(query.limit), plan.rows)
+            plan = LimitNode(rows=rows, cost=plan.cost, child=plan, limit=query.limit)
+        if query.select and not aggregates and not query.group_by:
+            cost = plan.cost + plan.rows * params.cpu_operator_cost * len(query.select)
+            plan = ProjectNode(rows=plan.rows, cost=cost, child=plan, output=list(query.select))
+        return plan
+
+    def _group_count(self, query: Query, input_rows: float) -> float:
+        """Estimated number of groups for an aggregation."""
+        if not query.group_by:
+            return 1.0
+        distinct = 1.0
+        for col in query.group_by:
+            stats = self._catalog.stats(col.table, col.column)
+            distinct *= max(1.0, stats.n_distinct)
+        return max(1.0, min(input_rows, distinct))
+
+
+def _provides_order(plan: PlanNode, order_by) -> bool:
+    """Whether the plan's output already satisfies the ORDER BY.
+
+    The narrow, safe case: a single ascending key served directly by a
+    single-column B+tree range or point scan on that exact column --
+    leaf chaining yields rows in key order.  IN-list scans (keys visited
+    in list order), parameterized scans, composite indexes, descending
+    keys, and anything above a join are all excluded.
+    """
+    if len(order_by) != 1 or order_by[0].descending:
+        return False
+    if not isinstance(plan, IndexScanNode):
+        return False
+    node = plan
+    if node.parameterized_by is not None or node.in_values is not None:
+        return False
+    if node.index.is_composite:
+        return False
+    key = order_by[0].column
+    return node.table == key.table and node.index.column == key.column

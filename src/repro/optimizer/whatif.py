@@ -1,0 +1,136 @@
+"""What-if optimization interface (the paper's Extended Query Optimizer).
+
+``WhatIfOptimize(q, P)`` measures, for every index ``I`` in the probation
+set ``P``, the query gain
+
+    QueryGain(q, I) = QueryCost(q, M − {I}) − QueryCost(q, M ∪ {I})
+
+i.e. the *savings* in execution cost when ``I`` is part of the
+materialized set ``M`` (non-negative whenever the index helps).  For a
+hypothetical index (``I ∉ M``) this is traditional forward what-if:
+optimize with the index added.  For a materialized index the EQO works in
+reverse, pretending the index is unavailable, because the normal
+optimization already includes it -- exactly as described in §4.1 of the
+paper.
+
+Note on sign convention: the paper's formula as printed reads
+``QueryCost(q, M ∪ {I}) − QueryCost(q, M − {I})``, but the surrounding
+text defines QueryGain as "the savings in execution time", so we use the
+orientation that makes gains positive for useful indexes.
+
+Each probed index costs one what-if call; the per-query
+:class:`~repro.optimizer.optimizer.PlanCache` makes the incremental cost
+of each call small by reusing sub-plans from the initial optimization --
+the same engineering the paper's PostgreSQL prototype does.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Optional
+
+from repro.engine.index import IndexDef
+from repro.optimizer.access import IndexConfig
+from repro.optimizer.optimizer import OptimizationResult, Optimizer, PlanCache
+from repro.sql.ast import Query
+
+
+@dataclasses.dataclass
+class WhatIfSession:
+    """State carried across the what-if calls for a single query.
+
+    Attributes:
+        query: The query being profiled.
+        base: The result of the query's normal optimization under the
+            current materialized set.
+        cache: Plan cache shared by all calls for this query.
+    """
+
+    query: Query
+    base: OptimizationResult
+    cache: PlanCache
+
+
+class WhatIfOptimizer:
+    """The paper's EQO: a standard optimizer plus a what-if interface.
+
+    Attributes:
+        call_count: Total number of what-if calls issued (one per probed
+            index), the quantity Figure 5 charts per epoch.
+    """
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self._optimizer = optimizer
+        self.call_count = 0
+        self.probed_indexes: set = set()
+
+    @property
+    def optimizer(self) -> Optimizer:
+        """The underlying plain optimizer."""
+        return self._optimizer
+
+    def begin_query(self, query: Query) -> WhatIfSession:
+        """Normally optimize ``query`` and open a what-if session for it."""
+        cache = PlanCache()
+        base = self._optimizer.optimize(query, cache=cache)
+        return WhatIfSession(query=query, base=base, cache=cache)
+
+    def what_if_optimize(
+        self,
+        session: WhatIfSession,
+        probation: Iterable[IndexDef],
+        materialized: Optional[IndexConfig] = None,
+    ) -> Dict[IndexDef, float]:
+        """Measure QueryGain for each index in the probation set.
+
+        Args:
+            session: Session from :meth:`begin_query` for this query.
+            probation: Indexes to probe (the set ``P`` of Figure 2).
+            materialized: The materialized set ``M``; defaults to the
+                catalog's current one.
+
+        Returns:
+            Mapping from each probed index to its QueryGain (cost units;
+            >= 0 means the index helps or is neutral; may be negative in
+            rare cases where hypothesizing an index changes join-order
+            tie-breaks).
+        """
+        if materialized is None:
+            materialized = self._optimizer.current_config()
+        gains: Dict[IndexDef, float] = {}
+        for index in probation:
+            self.call_count += 1
+            self.probed_indexes.add(index)
+            if index in materialized:
+                # Reverse what-if: how much worse would the query be
+                # without this materialized index?
+                without = self._optimizer.optimize(
+                    session.query,
+                    config=materialized - {index},
+                    cache=session.cache,
+                )
+                with_cost = self._cost_under(session, materialized)
+                gains[index] = without.cost - with_cost
+            else:
+                with_index = self._optimizer.optimize(
+                    session.query,
+                    config=materialized | {index},
+                    cache=session.cache,
+                )
+                without_cost = self._cost_under(session, materialized)
+                gains[index] = without_cost - with_index.cost
+        return gains
+
+    def gains_for(
+        self, query: Query, probation: List[IndexDef]
+    ) -> Dict[IndexDef, float]:
+        """One-shot convenience: optimize ``query`` and probe ``probation``."""
+        session = self.begin_query(query)
+        return self.what_if_optimize(session, probation)
+
+    def _cost_under(self, session: WhatIfSession, config: IndexConfig) -> float:
+        if config == session.base.config:
+            return session.base.cost
+        return self._optimizer.optimize(
+            session.query, config=config, cache=session.cache
+        ).cost

@@ -1,0 +1,187 @@
+"""Persistence: snapshot and restore a tuner's learned state.
+
+A production on-line tuner must survive server restarts without
+re-learning the workload from scratch.  This module serializes the
+durable parts of a :class:`~repro.core.colt.ColtTuner` -- the
+materialized and hot sets, per-index benefit histories, candidate
+statistics, and the current what-if budget -- to a plain JSON-compatible
+dictionary, and restores them into a fresh tuner over a structurally
+equivalent catalog.
+
+What is deliberately *not* persisted: per-(index, cluster) gain samples.
+Their validity is tied to the precise materialized configuration and to
+live cluster identities; after a restart the profiler re-gathers them
+quickly, guided by the restored benefit histories.
+
+Usage::
+
+    snapshot = snapshot_tuner(tuner)
+    save_json("colt_state.json", snapshot)
+    ...
+    tuner = restore_tuner(catalog, load_json("colt_state.json"))
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, Optional, Union
+
+from repro.core.colt import ColtTuner
+from repro.core.config import ColtConfig
+from repro.core.forecast import BenefitHistory
+from repro.engine.catalog import Catalog
+from repro.engine.storage import PhysicalStore
+
+SNAPSHOT_VERSION = 1
+
+
+class SnapshotError(ValueError):
+    """Raised when a snapshot cannot be produced or restored."""
+
+
+def snapshot_tuner(tuner: ColtTuner) -> Dict:
+    """Serialize a tuner's durable state to a JSON-compatible dict."""
+    so = tuner.self_organizer
+    candidates = []
+    for stats in tuner.profiler.candidates.ranked():
+        candidates.append(
+            {
+                "table": stats.index.table,
+                "columns": list(stats.index.columns),
+                "window": list(stats._window),  # noqa: SLF001 - owner module
+                "smoothed": stats.smoothed_benefit,
+            }
+        )
+    return {
+        "version": SNAPSHOT_VERSION,
+        "config": _config_to_dict(tuner.config),
+        "materialized": [
+            [ix.table, list(ix.columns)] for ix in tuner.materialized_set
+        ],
+        "hot": [[ix.table, list(ix.columns)] for ix in tuner.hot_set],
+        "histories": {
+            "low": {
+                _key_text(t, cols): h.values()
+                for (t, cols), h in so._history.items()
+            },
+            "high": {
+                _key_text(t, cols): h.values()
+                for (t, cols), h in so._high_history.items()
+            },
+            "measured": {
+                _key_text(t, cols): n for (t, cols), n in so._measured.items()
+            },
+        },
+        "candidates": candidates,
+        "whatif_budget": tuner.profiler.whatif_budget,
+    }
+
+
+def restore_tuner(
+    catalog: Catalog,
+    snapshot: Dict,
+    store: Optional[PhysicalStore] = None,
+) -> ColtTuner:
+    """Rebuild a tuner from a snapshot over an equivalent catalog.
+
+    Restored materialized indexes are re-registered in the catalog (and,
+    when a physical store is given, physically rebuilt) without charging
+    build cost -- they already exist on disk in the scenario this models.
+
+    Raises:
+        SnapshotError: on version mismatch or references to tables or
+            columns absent from the catalog.
+    """
+    if snapshot.get("version") != SNAPSHOT_VERSION:
+        raise SnapshotError(
+            f"unsupported snapshot version {snapshot.get('version')!r}"
+        )
+    config = _config_from_dict(snapshot["config"])
+    tuner = ColtTuner(catalog, config, store=store)
+    so = tuner.self_organizer
+
+    for table, columns in snapshot["materialized"]:
+        index = _resolve(catalog, table, columns)
+        if store is not None:
+            store.build_index(index)
+        else:
+            catalog.materialize_index(index)
+        so.materialized.add(index)
+    for table, columns in snapshot["hot"]:
+        so.hot.add(_resolve(catalog, table, columns))
+
+    h = config.history_epochs
+    for kind, target in (("low", so._history), ("high", so._high_history)):
+        for key_text, values in snapshot["histories"][kind].items():
+            key = _parse_key(catalog, key_text)
+            history = BenefitHistory(h)
+            for value in values[-h:]:
+                history.record(float(value))
+            target[key] = history
+    for key_text, count in snapshot["histories"]["measured"].items():
+        so._measured[_parse_key(catalog, key_text)] = int(count)
+
+    _restore_candidates(tuner, snapshot["candidates"], config)
+    tuner.profiler.set_budget(int(snapshot["whatif_budget"]))
+    return tuner
+
+
+def save_json(path: Union[str, pathlib.Path], snapshot: Dict) -> None:
+    """Write a snapshot to a JSON file."""
+    pathlib.Path(path).write_text(json.dumps(snapshot, indent=1))
+
+
+def load_json(path: Union[str, pathlib.Path]) -> Dict:
+    """Read a snapshot from a JSON file."""
+    return json.loads(pathlib.Path(path).read_text())
+
+
+# ----------------------------------------------------------------------
+def _config_to_dict(config: ColtConfig) -> Dict:
+    import dataclasses
+
+    return dataclasses.asdict(config)
+
+
+def _config_from_dict(data: Dict) -> ColtConfig:
+    return ColtConfig(**data)
+
+
+def _key_text(table: str, columns) -> str:
+    return f"{table}:{','.join(columns)}"
+
+
+def _resolve(catalog: Catalog, table: str, columns):
+    if isinstance(columns, str):
+        columns = [columns]
+    if not catalog.has_table(table):
+        raise SnapshotError(f"snapshot references unknown table {table!r}")
+    for column in columns:
+        if not catalog.table(table).has_column(column):
+            raise SnapshotError(
+                f"snapshot references unknown column {table}.{column}"
+            )
+    if len(columns) == 1:
+        return catalog.index_for(table, columns[0])
+    return catalog.composite_index_for(table, columns)
+
+
+def _parse_key(catalog: Catalog, text: str):
+    table, _, rest = text.partition(":")
+    columns = rest.split(",")
+    index = _resolve(catalog, table, columns)
+    return index.table, index.columns
+
+
+def _restore_candidates(tuner: ColtTuner, entries, config: ColtConfig) -> None:
+    from repro.core.candidates import CandidateStats
+
+    tracker = tuner.profiler.candidates
+    for entry in entries:
+        index = _resolve(tuner.catalog, entry["table"], entry["columns"])
+        stats = CandidateStats(index, config.history_epochs, config.smoothing)
+        for value in entry["window"][-config.history_epochs :]:
+            stats._window.append(float(value))  # noqa: SLF001
+        stats._smoothed = float(entry["smoothed"])  # noqa: SLF001
+        tracker._stats[(index.table, index.columns)] = stats  # noqa: SLF001

@@ -1,0 +1,33 @@
+"""SQL front end: lexer, abstract syntax tree, and recursive-descent parser.
+
+The dialect covers the query shapes the paper's workloads exercise:
+conjunctive select-project-join queries with range/equality/IN predicates,
+optional aggregation, grouping, ordering and LIMIT.
+"""
+
+from repro.sql.ast import (
+    Aggregate,
+    BetweenPredicate,
+    ColumnExpr,
+    ComparisonPredicate,
+    InPredicate,
+    JoinPredicate,
+    OrderItem,
+    Query,
+    SelectItem,
+)
+from repro.sql.parser import ParseError, parse_query
+
+__all__ = [
+    "Aggregate",
+    "BetweenPredicate",
+    "ColumnExpr",
+    "ComparisonPredicate",
+    "InPredicate",
+    "JoinPredicate",
+    "OrderItem",
+    "ParseError",
+    "Query",
+    "SelectItem",
+    "parse_query",
+]

@@ -1,0 +1,199 @@
+"""Abstract syntax for the supported SQL dialect.
+
+A :class:`Query` is the unit of work throughout the system: the optimizer
+costs it, the executor runs it, and COLT mines its predicates for index
+candidates.  The representation is deliberately *analyzed* rather than a
+raw parse tree -- predicates are already split into single-table filters
+and equi-join conditions, which is the structure both the Selinger
+optimizer and COLT's query clustering consume.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import List, Optional, Tuple
+
+
+class CompareOp(enum.Enum):
+    """Comparison operators allowed in predicates."""
+
+    EQ = "="
+    NE = "<>"
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+
+    def flipped(self) -> "CompareOp":
+        """The operator with its operands swapped (e.g. ``<`` → ``>``)."""
+        return _FLIPPED[self]
+
+
+_FLIPPED = {}
+
+
+def _init_flipped() -> None:
+    _FLIPPED.update(
+        {
+            CompareOp.EQ: CompareOp.EQ,
+            CompareOp.NE: CompareOp.NE,
+            CompareOp.LT: CompareOp.GT,
+            CompareOp.LE: CompareOp.GE,
+            CompareOp.GT: CompareOp.LT,
+            CompareOp.GE: CompareOp.LE,
+        }
+    )
+
+
+_init_flipped()
+
+
+class AggFunc(enum.Enum):
+    """Aggregate functions."""
+
+    COUNT = "count"
+    SUM = "sum"
+    AVG = "avg"
+    MIN = "min"
+    MAX = "max"
+
+
+@dataclasses.dataclass(frozen=True)
+class ColumnExpr:
+    """A column reference; ``table`` may be None until binding."""
+
+    column: str
+    table: Optional[str] = None
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.column}" if self.table else self.column
+
+
+@dataclasses.dataclass(frozen=True)
+class Aggregate:
+    """An aggregate over a column (or ``COUNT(*)`` when ``arg`` is None)."""
+
+    func: AggFunc
+    arg: Optional[ColumnExpr]
+
+    def __str__(self) -> str:
+        inner = "*" if self.arg is None else str(self.arg)
+        return f"{self.func.value}({inner})"
+
+
+@dataclasses.dataclass(frozen=True)
+class SelectItem:
+    """One output column: either a plain column or an aggregate."""
+
+    expr: object  # ColumnExpr | Aggregate
+    alias: Optional[str] = None
+
+
+@dataclasses.dataclass(frozen=True)
+class ComparisonPredicate:
+    """A single-table predicate ``column <op> literal``."""
+
+    column: ColumnExpr
+    op: CompareOp
+    value: object
+
+    def __str__(self) -> str:
+        return f"{self.column} {self.op.value} {self.value!r}"
+
+
+@dataclasses.dataclass(frozen=True)
+class BetweenPredicate:
+    """A single-table predicate ``column BETWEEN low AND high``."""
+
+    column: ColumnExpr
+    low: object
+    high: object
+
+    def __str__(self) -> str:
+        return f"{self.column} BETWEEN {self.low!r} AND {self.high!r}"
+
+
+@dataclasses.dataclass(frozen=True)
+class InPredicate:
+    """A single-table predicate ``column IN (v1, v2, ...)``."""
+
+    column: ColumnExpr
+    values: Tuple
+
+    def __str__(self) -> str:
+        inner = ", ".join(repr(v) for v in self.values)
+        return f"{self.column} IN ({inner})"
+
+
+@dataclasses.dataclass(frozen=True)
+class JoinPredicate:
+    """An equi-join condition ``left = right`` across two tables."""
+
+    left: ColumnExpr
+    right: ColumnExpr
+
+    def __str__(self) -> str:
+        return f"{self.left} = {self.right}"
+
+    def normalized(self) -> "JoinPredicate":
+        """A canonical orientation (smaller table.column string first)."""
+        if str(self.right) < str(self.left):
+            return JoinPredicate(self.right, self.left)
+        return self
+
+
+@dataclasses.dataclass(frozen=True)
+class OrderItem:
+    """One ORDER BY key."""
+
+    column: ColumnExpr
+    descending: bool = False
+
+
+FilterPredicate = (ComparisonPredicate, BetweenPredicate, InPredicate)
+
+
+@dataclasses.dataclass
+class Query:
+    """An analyzed conjunctive SPJ query with optional aggregation.
+
+    Attributes:
+        tables: Names of the referenced base tables (no duplicates).
+        select: Output list; empty means ``SELECT *``.
+        filters: Single-table predicates (implicitly ANDed).
+        joins: Equi-join conditions (implicitly ANDed).
+        group_by: Grouping columns (may be empty).
+        order_by: Ordering specification (may be empty).
+        limit: Optional row limit.
+        text: The original SQL text, if the query was parsed.
+    """
+
+    tables: List[str]
+    select: List[SelectItem] = dataclasses.field(default_factory=list)
+    filters: List[object] = dataclasses.field(default_factory=list)
+    joins: List[JoinPredicate] = dataclasses.field(default_factory=list)
+    group_by: List[ColumnExpr] = dataclasses.field(default_factory=list)
+    order_by: List[OrderItem] = dataclasses.field(default_factory=list)
+    limit: Optional[int] = None
+    text: Optional[str] = None
+
+    def filters_on(self, table: str) -> List[object]:
+        """All single-table filters that reference ``table``."""
+        return [f for f in self.filters if f.column.table == table]
+
+    def selection_columns(self) -> List[ColumnExpr]:
+        """Columns appearing in selection predicates (COLT's mining input)."""
+        return [f.column for f in self.filters]
+
+    def join_columns(self) -> List[ColumnExpr]:
+        """Columns appearing in join predicates."""
+        cols: List[ColumnExpr] = []
+        for j in self.joins:
+            cols.append(j.left)
+            cols.append(j.right)
+        return cols
+
+    def is_aggregate(self) -> bool:
+        """Whether the query computes any aggregate."""
+        return any(isinstance(item.expr, Aggregate) for item in self.select)

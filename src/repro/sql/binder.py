@@ -1,0 +1,130 @@
+"""Semantic analysis: bind a parsed query against the catalog.
+
+Binding resolves unqualified column references to their tables, validates
+that every referenced table and column exists, checks type compatibility
+of predicates, and coerces literals to the engine representation (e.g.
+date strings to day ordinals).  Everything downstream -- optimizer,
+executor, COLT -- assumes bound queries.
+"""
+
+from __future__ import annotations
+
+from repro.engine.catalog import Catalog
+from repro.engine.datatypes import DataType, coerce, comparable
+from repro.sql.ast import (
+    Aggregate,
+    BetweenPredicate,
+    ColumnExpr,
+    ComparisonPredicate,
+    InPredicate,
+    JoinPredicate,
+    OrderItem,
+    Query,
+    SelectItem,
+)
+
+
+class BindError(ValueError):
+    """Raised when a query references unknown objects or mismatched types."""
+
+
+def bind_query(query: Query, catalog: Catalog) -> Query:
+    """Return a fully-bound copy of ``query``.
+
+    Raises:
+        BindError: on unknown tables/columns, ambiguous references, or
+            type-incompatible predicates.
+    """
+    binder = _Binder(query, catalog)
+    return binder.bind()
+
+
+class _Binder:
+    def __init__(self, query: Query, catalog: Catalog) -> None:
+        self._query = query
+        self._catalog = catalog
+
+    def bind(self) -> Query:
+        for name in self._query.tables:
+            if not self._catalog.has_table(name):
+                raise BindError(f"unknown table {name!r}")
+        return Query(
+            tables=list(self._query.tables),
+            select=[self._bind_item(i) for i in self._query.select],
+            filters=[self._bind_filter(f) for f in self._query.filters],
+            joins=[self._bind_join(j) for j in self._query.joins],
+            group_by=[self._bind_column(c) for c in self._query.group_by],
+            order_by=[
+                OrderItem(self._bind_column(o.column), o.descending)
+                for o in self._query.order_by
+            ],
+            limit=self._query.limit,
+            text=self._query.text,
+        )
+
+    def _bind_column(self, col: ColumnExpr) -> ColumnExpr:
+        if col.table is not None:
+            if col.table not in self._query.tables:
+                raise BindError(f"table {col.table!r} not in FROM clause")
+            if not self._catalog.table(col.table).has_column(col.column):
+                raise BindError(f"no column {col.column!r} in table {col.table!r}")
+            return col
+        owners = [
+            t
+            for t in self._query.tables
+            if self._catalog.table(t).has_column(col.column)
+        ]
+        if not owners:
+            raise BindError(f"unknown column {col.column!r}")
+        if len(owners) > 1:
+            raise BindError(
+                f"ambiguous column {col.column!r}: in tables {', '.join(owners)}"
+            )
+        return ColumnExpr(column=col.column, table=owners[0])
+
+    def _dtype(self, col: ColumnExpr) -> DataType:
+        return self._catalog.table(col.table).column(col.column).dtype
+
+    def _bind_item(self, item: SelectItem) -> SelectItem:
+        if isinstance(item.expr, Aggregate):
+            arg = item.expr.arg
+            bound_arg = None if arg is None else self._bind_column(arg)
+            return SelectItem(
+                expr=Aggregate(func=item.expr.func, arg=bound_arg),
+                alias=item.alias,
+            )
+        return SelectItem(expr=self._bind_column(item.expr), alias=item.alias)
+
+    def _bind_filter(self, pred):
+        column = self._bind_column(pred.column)
+        dtype = self._dtype(column)
+        try:
+            if isinstance(pred, ComparisonPredicate):
+                return ComparisonPredicate(
+                    column=column, op=pred.op, value=coerce(pred.value, dtype)
+                )
+            if isinstance(pred, BetweenPredicate):
+                return BetweenPredicate(
+                    column=column,
+                    low=coerce(pred.low, dtype),
+                    high=coerce(pred.high, dtype),
+                )
+            if isinstance(pred, InPredicate):
+                return InPredicate(
+                    column=column,
+                    values=tuple(coerce(v, dtype) for v in pred.values),
+                )
+        except TypeError as exc:
+            raise BindError(f"type error in predicate on {column}: {exc}") from exc
+        raise BindError(f"unsupported predicate type {type(pred).__name__}")
+
+    def _bind_join(self, join: JoinPredicate) -> JoinPredicate:
+        left = self._bind_column(join.left)
+        right = self._bind_column(join.right)
+        if left.table == right.table:
+            raise BindError(f"join predicate {join} references a single table")
+        if not comparable(self._dtype(left), self._dtype(right)):
+            raise BindError(
+                f"join predicate {join} compares incompatible types"
+            )
+        return JoinPredicate(left=left, right=right)

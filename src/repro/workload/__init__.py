@@ -1,0 +1,41 @@
+"""Synthetic TPC-H-style data and workload generation.
+
+The paper evaluates COLT on four instances of the TPC-H schema (32 tables,
+6,928,120 tuples, 244 indexable attributes -- Table 1) with synthetic query
+workloads drawn from fixed, shifting, and noisy distributions.  This
+package reconstructs all of it:
+
+* ``spec`` / ``tpch`` -- the schema with declarative column specifications
+  from which both paper-scale statistics and physical rows derive.
+* ``datagen`` -- catalog construction (declared statistics) and physical
+  data generation at a configurable scale factor.
+* ``querygen`` -- parameterized query distributions over focus attributes
+  with controlled selectivities.
+* ``phases`` -- stable, shifting, and noise-injected workload builders
+  matching the three experiments of §6.
+"""
+
+from repro.workload.datagen import build_catalog, build_physical
+from repro.workload.phases import (
+    multi_client_workload,
+    noisy_workload,
+    shifting_workload,
+    stable_workload,
+)
+from repro.workload.querygen import QueryDistribution, QueryTemplate, PredicateSpec
+from repro.workload.tpch import TPCH_INSTANCES, dataset_summary, tpch_schema
+
+__all__ = [
+    "PredicateSpec",
+    "QueryDistribution",
+    "QueryTemplate",
+    "TPCH_INSTANCES",
+    "build_catalog",
+    "build_physical",
+    "dataset_summary",
+    "multi_client_workload",
+    "noisy_workload",
+    "shifting_workload",
+    "stable_workload",
+    "tpch_schema",
+]

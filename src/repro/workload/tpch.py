@@ -1,0 +1,266 @@
+"""The paper's data set: four instances of a TPC-H-style schema.
+
+Table 1 of the paper gives the data set characteristics; this module
+reconstructs them exactly at the logical level:
+
+* 4 schema instances × 8 tables = **32 tables**
+* per-instance cardinalities region 5, nation 25, supplier 2,000,
+  part 40,000, customer 30,000, partsupp 160,000, orders 300,000,
+  lineitem 1,200,000 → 1,732,030 per instance, **6,928,120 total**
+* largest table 1,200,000 tuples, smallest 5 tuples
+* 61 columns per instance × 4 = **244 indexable attributes**
+
+Instance tables are suffixed ``_1`` .. ``_4`` (e.g. ``lineitem_2``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+from repro.engine.datatypes import DataType
+from repro.workload.spec import ColumnKind, ColumnSpec, TableSpec
+
+TPCH_INSTANCES = 4
+
+_DATE_LO = "1992-01-01"
+_DATE_HI = "1998-12-01"
+
+_ROWS = {
+    "region": 5,
+    "nation": 25,
+    "supplier": 2_000,
+    "part": 40_000,
+    "customer": 30_000,
+    "partsupp": 160_000,
+    "orders": 300_000,
+    "lineitem": 1_200_000,
+}
+
+
+def _pk(name: str) -> ColumnSpec:
+    return ColumnSpec(name, DataType.INT, ColumnKind.PRIMARY_KEY)
+
+
+def _fk(name: str, parent: str) -> ColumnSpec:
+    return ColumnSpec(
+        name, DataType.INT, ColumnKind.FOREIGN_KEY, fk_parent_rows=_ROWS[parent]
+    )
+
+
+def _int(name: str, low: int, high: int) -> ColumnSpec:
+    return ColumnSpec(name, DataType.INT, ColumnKind.UNIFORM_INT, low=low, high=high)
+
+
+def _flt(name: str, low: float, high: float) -> ColumnSpec:
+    return ColumnSpec(
+        name, DataType.FLOAT, ColumnKind.UNIFORM_FLOAT, low=low, high=high
+    )
+
+
+def _date(name: str) -> ColumnSpec:
+    return ColumnSpec(
+        name, DataType.DATE, ColumnKind.DATE_RANGE, low=_DATE_LO, high=_DATE_HI
+    )
+
+
+def _choice(name: str, *values: str) -> ColumnSpec:
+    return ColumnSpec(name, DataType.TEXT, ColumnKind.CHOICE, choices=tuple(values))
+
+
+def _text(name: str) -> ColumnSpec:
+    return ColumnSpec(name, DataType.TEXT, ColumnKind.UNIQUE_TEXT)
+
+
+def _base_tables() -> List[TableSpec]:
+    """The 8 per-instance table specs (61 columns total)."""
+    return [
+        TableSpec(
+            "region",
+            (
+                _pk("r_regionkey"),
+                _choice("r_name", "AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"),
+                _text("r_comment"),
+            ),
+            _ROWS["region"],
+        ),
+        TableSpec(
+            "nation",
+            (
+                _pk("n_nationkey"),
+                _text("n_name"),
+                _fk("n_regionkey", "region"),
+                _text("n_comment"),
+            ),
+            _ROWS["nation"],
+        ),
+        TableSpec(
+            "supplier",
+            (
+                _pk("s_suppkey"),
+                _text("s_name"),
+                _text("s_address"),
+                _fk("s_nationkey", "nation"),
+                _text("s_phone"),
+                _flt("s_acctbal", -999.99, 9999.99),
+                _text("s_comment"),
+            ),
+            _ROWS["supplier"],
+        ),
+        TableSpec(
+            "part",
+            (
+                _pk("p_partkey"),
+                _text("p_name"),
+                _choice("p_mfgr", *(f"Manufacturer#{i}" for i in range(1, 6))),
+                _choice("p_brand", *(f"Brand#{i}{j}" for i in range(1, 6) for j in range(1, 6))),
+                _text("p_type"),
+                _int("p_size", 1, 50),
+                _choice(
+                    "p_container",
+                    *(
+                        f"{a} {b}"
+                        for a in ("SM", "LG", "MED", "JUMBO", "WRAP")
+                        for b in ("CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM")
+                    ),
+                ),
+                _flt("p_retailprice", 900.0, 2100.0),
+                _text("p_comment"),
+            ),
+            _ROWS["part"],
+        ),
+        TableSpec(
+            "partsupp",
+            (
+                _fk("ps_partkey", "part"),
+                _fk("ps_suppkey", "supplier"),
+                _int("ps_availqty", 1, 9999),
+                _flt("ps_supplycost", 1.0, 1000.0),
+                _text("ps_comment"),
+            ),
+            _ROWS["partsupp"],
+        ),
+        TableSpec(
+            "customer",
+            (
+                _pk("c_custkey"),
+                _text("c_name"),
+                _text("c_address"),
+                _fk("c_nationkey", "nation"),
+                _text("c_phone"),
+                _flt("c_acctbal", -999.99, 9999.99),
+                _choice(
+                    "c_mktsegment",
+                    "AUTOMOBILE",
+                    "BUILDING",
+                    "FURNITURE",
+                    "HOUSEHOLD",
+                    "MACHINERY",
+                ),
+                _text("c_comment"),
+            ),
+            _ROWS["customer"],
+        ),
+        TableSpec(
+            "orders",
+            (
+                _pk("o_orderkey"),
+                _fk("o_custkey", "customer"),
+                _choice("o_orderstatus", "F", "O", "P"),
+                _flt("o_totalprice", 850.0, 560000.0),
+                _date("o_orderdate"),
+                _choice(
+                    "o_orderpriority",
+                    "1-URGENT",
+                    "2-HIGH",
+                    "3-MEDIUM",
+                    "4-NOT SPECIFIED",
+                    "5-LOW",
+                ),
+                _text("o_clerk"),
+                _int("o_shippriority", 0, 1),
+                _text("o_comment"),
+            ),
+            _ROWS["orders"],
+        ),
+        TableSpec(
+            "lineitem",
+            (
+                _fk("l_orderkey", "orders"),
+                _fk("l_partkey", "part"),
+                _fk("l_suppkey", "supplier"),
+                _int("l_linenumber", 1, 7),
+                _flt("l_quantity", 1.0, 50.0),
+                _flt("l_extendedprice", 900.0, 105000.0),
+                _flt("l_discount", 0.0, 0.10),
+                _flt("l_tax", 0.0, 0.08),
+                _choice("l_returnflag", "A", "N", "R"),
+                _choice("l_linestatus", "F", "O"),
+                _date("l_shipdate"),
+                _date("l_commitdate"),
+                _date("l_receiptdate"),
+                _choice(
+                    "l_shipinstruct",
+                    "DELIVER IN PERSON",
+                    "COLLECT COD",
+                    "NONE",
+                    "TAKE BACK RETURN",
+                ),
+                _choice("l_shipmode", "AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"),
+                _text("l_comment"),
+            ),
+            _ROWS["lineitem"],
+        ),
+    ]
+
+
+def instance_table(base_name: str, instance: int) -> str:
+    """Instance-qualified table name, e.g. ``lineitem_3``."""
+    return f"{base_name}_{instance}"
+
+
+def tpch_schema(instances: int = TPCH_INSTANCES) -> List[TableSpec]:
+    """Table specs for ``instances`` copies of the schema."""
+    specs: List[TableSpec] = []
+    for i in range(1, instances + 1):
+        for base in _base_tables():
+            specs.append(
+                dataclasses.replace(base, name=instance_table(base.name, i))
+            )
+    return specs
+
+
+@dataclasses.dataclass(frozen=True)
+class DatasetSummary:
+    """The quantities reported in Table 1 of the paper."""
+
+    size_bytes: int
+    num_tables: int
+    total_tuples: int
+    max_table_tuples: int
+    min_table_tuples: int
+    indexable_attributes: int
+
+
+def dataset_summary(instances: int = TPCH_INSTANCES, page_size: int = 8192) -> DatasetSummary:
+    """Compute the Table 1 characteristics for the logical data set."""
+    specs = tpch_schema(instances)
+    tuple_header = 28
+    size = 0
+    for spec in specs:
+        per_page = max(1, page_size // (spec.row_width + tuple_header))
+        pages = -(-spec.row_count // per_page)  # ceil division
+        size += pages * page_size
+    return DatasetSummary(
+        size_bytes=size,
+        num_tables=len(specs),
+        total_tuples=sum(s.row_count for s in specs),
+        max_table_tuples=max(s.row_count for s in specs),
+        min_table_tuples=min(s.row_count for s in specs),
+        indexable_attributes=sum(len(s.columns) for s in specs),
+    )
+
+
+def base_row_counts() -> Dict[str, int]:
+    """Per-instance base table cardinalities (copy)."""
+    return dict(_ROWS)

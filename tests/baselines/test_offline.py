@@ -1,0 +1,110 @@
+"""Tests for the OFFLINE baseline tuner."""
+
+import itertools
+
+import pytest
+
+from repro.baselines import OfflineTuner
+from repro.optimizer.optimizer import Optimizer, PlanCache
+from repro.sql.binder import bind_query
+from repro.sql.parser import parse_query
+from repro.workload.datagen import build_catalog
+from repro.workload.experiments import stable_distribution
+from repro.workload.phases import stable_workload
+
+
+def _queries(catalog, *sqls):
+    return [bind_query(parse_query(s), catalog) for s in sqls]
+
+
+class TestBasics:
+    def test_empty_budget_selects_nothing(self, small_catalog):
+        queries = _queries(
+            small_catalog, "select amount from events where user_id = 5"
+        )
+        result = OfflineTuner(small_catalog).tune(queries, budget_pages=0.0)
+        assert result.indexes == []
+        assert result.total_cost == result.baseline_cost
+
+    def test_selects_obviously_good_index(self, small_catalog):
+        queries = _queries(
+            small_catalog,
+            "select amount from events where user_id = 5",
+            "select amount from events where user_id = 6",
+        )
+        result = OfflineTuner(small_catalog).tune(queries, budget_pages=50_000.0)
+        assert small_catalog.index_for("events", "user_id") in result.indexes
+        assert result.total_cost < result.baseline_cost
+
+    def test_budget_constraint_respected(self, small_catalog):
+        queries = _queries(
+            small_catalog,
+            "select amount from events where user_id = 5",
+            "select amount from events where day = 8000",
+        )
+        # Fits one events index, not two.
+        result = OfflineTuner(small_catalog).tune(queries, budget_pages=3000.0)
+        used = sum(small_catalog.index_size_pages(ix) for ix in result.indexes)
+        assert used <= 3000.0
+
+    def test_invalid_strategy(self, small_catalog):
+        with pytest.raises(ValueError):
+            OfflineTuner(small_catalog, strategy="magic")
+
+    def test_candidate_mining_covers_joins(self, small_catalog):
+        queries = _queries(
+            small_catalog,
+            "select * from events, users "
+            "where events.user_id = users.user_id and events.day = 8000",
+        )
+        tuner = OfflineTuner(small_catalog)
+        pool = tuner._mine(queries)
+        names = {ix.name for ix in pool}
+        assert "ix_events_day" in names
+        assert "ix_users_user_id" in names
+
+
+class TestOptimality:
+    def test_matches_brute_force_on_paper_workload(self):
+        catalog = build_catalog()
+        workload = stable_workload(stable_distribution(), 40, catalog, seed=21)
+        budget = 7000.0
+        tuner = OfflineTuner(catalog)
+        result = tuner.tune(workload.queries, budget)
+
+        pool = [
+            ix
+            for ix in tuner._mine(workload.queries)
+            if catalog.index_size_pages(ix) <= budget
+        ]
+        optimizer = Optimizer(catalog)
+
+        def total(config):
+            return sum(
+                optimizer.optimize(q, config=frozenset(config), cache=PlanCache()).cost
+                for q in workload.queries
+            )
+
+        best = total(())
+        for r in range(1, min(len(pool), 4) + 1):
+            for combo in itertools.combinations(pool, r):
+                if sum(catalog.index_size_pages(ix) for ix in combo) <= budget:
+                    best = min(best, total(combo))
+        # Brute force capped at 4-subsets; branch-and-bound may find even
+        # better, never worse.
+        assert result.total_cost <= best + 1e-6
+
+    def test_greedy_never_beats_exhaustive(self):
+        catalog = build_catalog()
+        workload = stable_workload(stable_distribution(), 60, catalog, seed=8)
+        exact = OfflineTuner(catalog).tune(workload.queries, 9000.0)
+        greedy = OfflineTuner(catalog, strategy="greedy").tune(
+            workload.queries, 9000.0
+        )
+        assert exact.total_cost <= greedy.total_cost + 1e-6
+
+    def test_result_reports_search_size(self):
+        catalog = build_catalog()
+        workload = stable_workload(stable_distribution(), 30, catalog, seed=4)
+        result = OfflineTuner(catalog).tune(workload.queries, 9000.0)
+        assert result.configurations_examined >= 1

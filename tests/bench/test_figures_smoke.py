@@ -1,0 +1,69 @@
+"""Fast smoke tests for the figure drivers.
+
+The full experiments live in ``benchmarks/``; these scaled-down runs
+protect the drivers themselves (parameter plumbing, series extraction,
+renderers) inside the regular test suite.
+"""
+
+import pytest
+
+from repro.bench.figures import (
+    figure3_stable,
+    figure4_shifting,
+    figure5_overhead,
+    figure6_noise,
+)
+
+
+class TestFigure3Driver:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure3_stable(length=120, seed=1)
+
+    def test_bar_structure(self, result):
+        assert len(result.colt_bars) == len(result.offline_bars) > 0
+        assert all(b > 0 for b in result.offline_bars)
+
+    def test_reduction_percent_ranges(self, result):
+        full = result.reduction_percent()
+        assert -200.0 < full < 100.0
+        assert result.reduction_percent(50) != 0.0
+
+    def test_to_text(self, result):
+        text = result.to_text()
+        assert "COLT" in text and "OFFLINE" in text and "ratio" in text
+
+
+class TestFigure4Driver:
+    def test_custom_phase_dimensions(self):
+        result = figure4_shifting(phase_length=40, transition=10)
+        # 4 x 40 + 3 x 10 = 190 queries → 4 bars of 50.
+        assert len(result.colt_bars) == 4
+        assert len(result.colt.total_costs) == 190
+
+
+class TestFigure5Driver:
+    def test_overhead_series(self):
+        result = figure5_overhead(phase_length=40, transition=10)
+        assert len(result.whatif_per_epoch) == 19  # 190 queries / w=10
+        assert all(c >= 0 for c in result.whatif_per_epoch)
+        assert 0.0 <= result.profiled_fraction <= 1.0
+        assert result.phase_boundaries_epochs
+        assert "epoch" in result.to_text()
+
+    def test_mean_calls_helper(self):
+        result = figure5_overhead(phase_length=30, transition=10)
+        assert result.mean_calls([]) == 0.0
+        assert result.mean_calls(range(1000)) >= 0.0
+
+
+class TestFigure6Driver:
+    def test_single_burst_point(self):
+        result = figure6_noise(burst_lengths=(30,), warmup=50)
+        assert len(result.points) == 1
+        point = result.points[0]
+        assert point.burst_length == 30
+        assert point.ratio == pytest.approx(
+            point.colt_cost / point.offline_cost
+        )
+        assert "burst" in result.to_text()

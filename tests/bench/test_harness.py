@@ -1,0 +1,70 @@
+"""Tests for the simulation harness and figure drivers."""
+
+import pytest
+
+from repro.bench.harness import bar_series, run_colt, run_offline
+from repro.bench.figures import table1_dataset
+from repro.core.config import ColtConfig
+from repro.workload.datagen import build_catalog
+from repro.workload.experiments import stable_distribution
+from repro.workload.phases import stable_workload
+
+
+class TestBarSeries:
+    def test_even_split(self):
+        assert bar_series([1.0] * 100, width=50) == [50.0, 50.0]
+
+    def test_ragged_tail(self):
+        assert bar_series([1.0] * 120, width=50) == [50.0, 50.0, 20.0]
+
+    def test_empty(self):
+        assert bar_series([], width=50) == []
+
+
+class TestRuns:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        catalog = build_catalog()
+        workload = stable_workload(stable_distribution(), 100, catalog, seed=13)
+        return workload
+
+    def test_colt_run_structure(self, setup):
+        workload = setup
+        run = run_colt(
+            build_catalog(), workload.queries, ColtConfig(storage_budget_pages=9000)
+        )
+        assert len(run.total_costs) == 100
+        assert len(run.whatif_per_epoch) == 10
+        assert run.total_cost == pytest.approx(sum(run.total_costs))
+        assert all(t >= e for t, e in zip(run.total_costs, run.execution_costs))
+        assert run.profiled_index_count >= 1
+
+    def test_offline_run_structure(self, setup):
+        workload = setup
+        run = run_offline(build_catalog(), workload.queries, 9000.0)
+        assert len(run.per_query_costs) == 100
+        assert run.result.total_cost == pytest.approx(run.total_cost)
+
+    def test_offline_can_tune_on_different_workload(self, setup):
+        workload = setup
+        half = workload.queries[:50]
+        run = run_offline(
+            build_catalog(), workload.queries, 9000.0, tuning_workload=half
+        )
+        assert len(run.per_query_costs) == 100
+
+
+class TestTable1Driver:
+    def test_values_match_paper(self):
+        result = table1_dataset()
+        s = result.summary
+        assert s.num_tables == 32
+        assert s.total_tuples == 6_928_120
+        assert s.max_table_tuples == 1_200_000
+        assert s.min_table_tuples == 5
+        assert s.indexable_attributes == 244
+
+    def test_rendering(self):
+        text = table1_dataset().to_text()
+        assert "6,928,120" in text
+        assert "244" in text

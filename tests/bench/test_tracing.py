@@ -1,0 +1,65 @@
+"""Tests for the experiment tracing module."""
+
+import pytest
+
+from repro.bench.tracing import trace_run
+from repro.core.config import ColtConfig
+from repro.workload.datagen import build_catalog
+from repro.workload.experiments import stable_distribution
+from repro.workload.phases import stable_workload
+
+
+@pytest.fixture(scope="module")
+def trace():
+    catalog = build_catalog()
+    workload = stable_workload(stable_distribution(), 100, catalog, seed=1)
+    return trace_run(
+        build_catalog(),
+        workload.queries,
+        ColtConfig(storage_budget_pages=9_000.0),
+    )
+
+
+class TestTraceStructure:
+    def test_one_entry_per_epoch(self, trace):
+        assert len(trace.epochs) == 10  # 100 queries / w=10
+
+    def test_epoch_numbering(self, trace):
+        assert [e.epoch for e in trace.epochs] == list(range(10))
+
+    def test_costs_accumulate(self, trace):
+        assert trace.total_cost == pytest.approx(
+            sum(e.total_cost for e in trace.epochs)
+        )
+        for e in trace.epochs:
+            assert e.total_cost >= e.execution_cost
+
+    def test_whatif_within_budget(self, trace):
+        for e in trace.epochs:
+            assert 0 <= e.whatif_used <= trace.config.max_whatif_per_epoch
+
+    def test_set_changes_recorded(self, trace):
+        added = [name for e in trace.epochs for name in e.added]
+        assert added, "a stable workload run should materialize something"
+        # |M| grows consistently with recorded additions/drops.
+        size = 0
+        for e in trace.epochs:
+            size += len(e.added) - len(e.dropped)
+            assert len(e.materialized) == size
+
+    def test_ratio_at_least_one(self, trace):
+        assert all(e.improvement_ratio >= 1.0 for e in trace.epochs)
+
+
+class TestRendering:
+    def test_timeline_renders(self, trace):
+        text = trace.render_timeline()
+        assert "exec cost" in text
+        assert text.count("\n") >= len(trace.epochs)
+        assert "what-if calls" in text
+
+    def test_empty_trace(self):
+        from repro.bench.tracing import TunerTrace
+
+        empty = TunerTrace(epochs=[], config=ColtConfig())
+        assert "empty" in empty.render_timeline()

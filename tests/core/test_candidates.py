@@ -1,0 +1,141 @@
+"""Unit tests for candidate mining and crude benefit tracking."""
+
+import pytest
+
+from repro.core.candidates import CandidateTracker
+from repro.sql.binder import bind_query
+from repro.sql.parser import parse_query
+
+
+def _q(catalog, sql):
+    return bind_query(parse_query(sql), catalog)
+
+
+def _tracker(catalog, h=4, smoothing=0.5):
+    return CandidateTracker(catalog, h, smoothing)
+
+
+class TestMining:
+    def test_candidates_from_selection_predicates(self, small_catalog):
+        tracker = _tracker(small_catalog)
+        tracker.observe_query(
+            _q(small_catalog, "select amount from events where user_id = 5"),
+            used_indexes=[],
+            materialized=[],
+        )
+        names = [ix.name for ix in tracker.candidates()]
+        assert names == ["ix_events_user_id"]
+
+    def test_join_columns_not_mined(self, small_catalog):
+        # §3: C is mined from *selection* predicates only.
+        tracker = _tracker(small_catalog)
+        tracker.observe_query(
+            _q(
+                small_catalog,
+                "select * from events, users "
+                "where events.user_id = users.user_id and events.day = 8000",
+            ),
+            used_indexes=[],
+            materialized=[],
+        )
+        names = {ix.name for ix in tracker.candidates()}
+        assert names == {"ix_events_day"}
+
+    def test_non_indexable_column_skipped(self, small_catalog):
+        tracker = _tracker(small_catalog)
+        tracker.observe_query(
+            _q(small_catalog, "select score from users where name = 'x'"),
+            used_indexes=[],
+            materialized=[],
+        )
+        assert tracker.candidates() == []
+
+
+class TestCrudeBenefit:
+    def test_selective_predicate_credits_gain(self, small_catalog):
+        tracker = _tracker(small_catalog)
+        credited = tracker.observe_query(
+            _q(small_catalog, "select amount from events where user_id = 5"),
+            used_indexes=[],
+            materialized=[],
+        )
+        assert credited[0][1] > 0
+
+    def test_materialized_unused_gets_zero(self, small_catalog):
+        """u_{q,I} = 0 when the optimizer had the index and didn't use it."""
+        tracker = _tracker(small_catalog)
+        index = small_catalog.index_for("events", "user_id")
+        credited = tracker.observe_query(
+            _q(small_catalog, "select amount from events where user_id = 5"),
+            used_indexes=[],
+            materialized=[index],
+        )
+        assert credited[0][1] == 0.0
+
+    def test_materialized_used_gets_gain(self, small_catalog):
+        tracker = _tracker(small_catalog)
+        index = small_catalog.index_for("events", "user_id")
+        credited = tracker.observe_query(
+            _q(small_catalog, "select amount from events where user_id = 5"),
+            used_indexes=[index],
+            materialized=[index],
+        )
+        assert credited[0][1] > 0
+
+    def test_epoch_roll_computes_average(self, small_catalog):
+        tracker = _tracker(small_catalog)
+        q = _q(small_catalog, "select amount from events where user_id = 5")
+        gain = tracker.observe_query(q, [], [])[0][1]
+        tracker.observe_query(q, [], [])
+        tracker.roll_epoch(epoch_length=10)
+        stats = tracker.stats_for(small_catalog.index_for("events", "user_id"))
+        assert stats.smoothed_benefit == pytest.approx(2 * gain / 10)
+
+
+class TestLifecycle:
+    def test_stale_candidates_evicted(self, small_catalog):
+        tracker = _tracker(small_catalog, h=2)
+        tracker.observe_query(
+            _q(small_catalog, "select amount from events where user_id = 5"),
+            used_indexes=[],
+            materialized=[],
+        )
+        for _ in range(4):  # fill window with zero epochs
+            tracker.roll_epoch(10)
+        assert tracker.candidates() == []
+
+    def test_active_candidates_survive(self, small_catalog):
+        tracker = _tracker(small_catalog, h=3)
+        q = _q(small_catalog, "select amount from events where user_id = 5")
+        for _ in range(5):
+            tracker.observe_query(q, [], [])
+            tracker.roll_epoch(10)
+        assert len(tracker.candidates()) == 1
+
+    def test_ranked_excludes(self, small_catalog):
+        tracker = _tracker(small_catalog)
+        tracker.observe_query(
+            _q(small_catalog, "select amount from events where user_id = 5"), [], []
+        )
+        tracker.observe_query(
+            _q(small_catalog, "select amount from events where day = 8000"), [], []
+        )
+        tracker.roll_epoch(10)
+        all_ranked = tracker.ranked()
+        assert len(all_ranked) == 2
+        excluded = tracker.ranked(exclude=[small_catalog.index_for("events", "user_id")])
+        assert len(excluded) == 1
+
+    def test_ranked_descending(self, small_catalog):
+        tracker = _tracker(small_catalog)
+        selective = _q(small_catalog, "select amount from events where user_id = 5")
+        weak = _q(
+            small_catalog, "select amount from events where amount between 0 and 900"
+        )
+        for _ in range(3):
+            tracker.observe_query(selective, [], [])
+        tracker.observe_query(weak, [], [])
+        tracker.roll_epoch(10)
+        ranked = tracker.ranked()
+        benefits = [s.smoothed_benefit for s in ranked]
+        assert benefits == sorted(benefits, reverse=True)

@@ -1,0 +1,153 @@
+"""End-to-end tests for the COLT tuner on the small catalog."""
+
+import random
+
+import pytest
+
+from repro.core import ColtConfig, ColtTuner
+from repro.sql.ast import (
+    BetweenPredicate,
+    ColumnExpr,
+    ComparisonPredicate,
+    CompareOp,
+    Query,
+    SelectItem,
+)
+
+
+def _eq_query(value):
+    """A selective single-table query on events.user_id."""
+    return Query(
+        tables=["events"],
+        select=[SelectItem(expr=ColumnExpr("amount", "events"))],
+        filters=[
+            ComparisonPredicate(
+                ColumnExpr("user_id", "events"), CompareOp.EQ, value
+            )
+        ],
+    )
+
+
+def _day_query(lo):
+    return Query(
+        tables=["events"],
+        select=[SelectItem(expr=ColumnExpr("amount", "events"))],
+        filters=[BetweenPredicate(ColumnExpr("day", "events"), lo, lo + 19)],
+    )
+
+
+def _config(**kwargs):
+    kwargs.setdefault("storage_budget_pages", 6000.0)
+    kwargs.setdefault("min_history_epochs", 2)
+    return ColtConfig(**kwargs)
+
+
+class TestLifecycle:
+    def test_converges_on_repetitive_workload(self, small_catalog):
+        tuner = ColtTuner(small_catalog, _config())
+        rng = random.Random(0)
+        outcomes = [
+            tuner.process_query(_eq_query(rng.randint(1, 10_000)))
+            for _ in range(100)
+        ]
+        ix = small_catalog.index_for("events", "user_id")
+        assert ix in tuner.materialized_set
+        # Later queries are much cheaper than the first ones.
+        assert sum(o.total_cost for o in outcomes[-20:]) < 0.5 * sum(
+            o.total_cost for o in outcomes[:20]
+        )
+
+    def test_epoch_boundaries(self, small_catalog):
+        tuner = ColtTuner(small_catalog, _config(epoch_length=5))
+        outcomes = [tuner.process_query(_eq_query(i)) for i in range(12)]
+        boundaries = [o.epoch_ended for o in outcomes]
+        assert boundaries == [False] * 4 + [True] + [False] * 4 + [True] + [False] * 2
+        assert outcomes[4].reorganization is not None
+        assert outcomes[3].reorganization is None
+
+    def test_ledger_accounting(self, small_catalog):
+        config = _config()
+        tuner = ColtTuner(small_catalog, config)
+        for i in range(60):
+            o = tuner.process_query(_eq_query(i + 1))
+            assert o.total_cost == pytest.approx(
+                o.execution_cost + o.whatif_overhead + o.build_cost
+            )
+            assert o.whatif_overhead == o.whatif_calls * config.whatif_call_cost
+            if o.build_cost:
+                assert o.epoch_ended
+
+    def test_budget_never_exceeded_per_epoch(self, small_catalog):
+        config = _config(max_whatif_per_epoch=4, epoch_length=5)
+        tuner = ColtTuner(small_catalog, config)
+        rng = random.Random(1)
+        epoch_calls = 0
+        for i in range(50):
+            o = tuner.process_query(_eq_query(rng.randint(1, 10_000)))
+            epoch_calls += o.whatif_calls
+            if o.epoch_ended:
+                assert epoch_calls <= 4
+                epoch_calls = 0
+
+    def test_storage_budget_respected_always(self, small_catalog):
+        config = _config(storage_budget_pages=3000.0)
+        tuner = ColtTuner(small_catalog, config)
+        rng = random.Random(2)
+        queries = [
+            _eq_query(rng.randint(1, 10_000)) if i % 2 else _day_query(8000 + i)
+            for i in range(120)
+        ]
+        for q in queries:
+            tuner.process_query(q)
+            assert small_catalog.materialized_size_pages() <= 3000.0 + 1e-6
+
+    def test_adapts_to_shift(self, small_catalog):
+        # Budget fits either events index (~2.2k / ~2.8k pages) but not
+        # both, so adapting to the shift forces a swap.
+        tuner = ColtTuner(
+            small_catalog, _config(storage_budget_pages=3000.0)
+        )
+        rng = random.Random(3)
+        # Phase 1: user_id queries; phase 2: day queries.  The budget
+        # only fits one events index, so COLT must swap.
+        for _ in range(80):
+            tuner.process_query(_eq_query(rng.randint(1, 10_000)))
+        assert small_catalog.index_for("events", "user_id") in tuner.materialized_set
+        for _ in range(200):
+            tuner.process_query(_day_query(8000 + rng.randint(0, 1900)))
+        assert small_catalog.index_for("events", "day") in tuner.materialized_set
+
+    def test_adopts_preexisting_materialized_set(self, small_catalog):
+        ix = small_catalog.index_for("events", "day")
+        small_catalog.materialize_index(ix)
+        tuner = ColtTuner(small_catalog, _config())
+        assert tuner.materialized_set == [ix]
+
+    def test_run_helper(self, small_catalog):
+        tuner = ColtTuner(small_catalog, _config())
+        outcomes = tuner.run([_eq_query(i + 1) for i in range(10)])
+        assert len(outcomes) == 10
+        assert tuner.queries_seen == 10
+
+
+class TestOverheadRegulation:
+    def test_hibernates_when_tuned(self, small_catalog):
+        tuner = ColtTuner(small_catalog, _config())
+        rng = random.Random(5)
+        calls = []
+        for i in range(200):
+            o = tuner.process_query(_eq_query(rng.randint(1, 10_000)))
+            calls.append(o.whatif_calls)
+        # After convergence, profiling dies down.
+        assert sum(calls[-50:]) < sum(calls[:50])
+
+    def test_wakes_on_shift(self, small_catalog):
+        tuner = ColtTuner(small_catalog, _config(storage_budget_pages=3000.0))
+        rng = random.Random(6)
+        for _ in range(100):
+            tuner.process_query(_eq_query(rng.randint(1, 10_000)))
+        quiet = tuner.whatif.call_count
+        for _ in range(40):
+            tuner.process_query(_day_query(8000 + rng.randint(0, 1900)))
+        awake = tuner.whatif.call_count
+        assert awake > quiet  # profiling resumed after the shift

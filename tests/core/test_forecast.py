@@ -1,0 +1,82 @@
+"""Unit tests for benefit forecasting and NetBenefit."""
+
+import pytest
+
+from repro.core.forecast import (
+    BenefitHistory,
+    net_benefit,
+    predicted_benefit,
+    total_predicted_benefit,
+)
+
+
+class TestBenefitHistory:
+    def test_window_bounded(self):
+        history = BenefitHistory(3)
+        for v in range(10):
+            history.record(float(v))
+        assert history.values() == [7.0, 8.0, 9.0]
+        assert len(history) == 3
+
+    def test_clear(self):
+        history = BenefitHistory(3)
+        history.record(1.0)
+        history.clear()
+        assert history.values() == []
+
+
+class TestPredictedBenefit:
+    def test_empty_history(self):
+        assert predicted_benefit([], 1) == 0.0
+
+    def test_constant_history(self):
+        history = [5.0] * 12
+        for j in range(1, 13):
+            assert predicted_benefit(history, j) == pytest.approx(5.0)
+
+    def test_min_window_smooths_near_term(self):
+        history = [10.0, 10.0, 10.0, 0.0]  # one-off bad epoch at the end
+        near = predicted_benefit(history, 1, min_window=4)
+        assert near == pytest.approx(7.5)  # averaged over 4, not just the 0
+
+    def test_long_horizon_uses_whole_window(self):
+        history = [0.0] * 6 + [12.0] * 6
+        long_term = predicted_benefit(history, 12, min_window=1)
+        assert long_term == pytest.approx(6.0)
+
+    def test_recency_weighting(self):
+        # Recently-good index forecasts higher at short horizons.
+        rising = [0.0] * 6 + [10.0] * 6
+        falling = [10.0] * 6 + [0.0] * 6
+        assert predicted_benefit(rising, 1, min_window=1) > predicted_benefit(
+            falling, 1, min_window=1
+        )
+
+
+class TestTotals:
+    def test_total_is_sum_of_terms(self):
+        history = [1.0, 2.0, 3.0, 4.0, 5.0]
+        total = total_predicted_benefit(history, 5, min_window=1)
+        expected = sum(predicted_benefit(history, j, min_window=1) for j in range(1, 6))
+        assert total == pytest.approx(expected)
+
+    def test_constant_scales_with_horizon(self):
+        history = [3.0] * 12
+        assert total_predicted_benefit(history, 12) == pytest.approx(36.0)
+
+    def test_net_benefit_subtracts_cost(self):
+        history = [10.0] * 12
+        assert net_benefit(history, 12, materialization_cost=100.0) == pytest.approx(20.0)
+
+    def test_net_benefit_empty_history(self):
+        assert net_benefit([], 12, 50.0) == pytest.approx(-50.0)
+
+    def test_burst_memory(self):
+        """An index idle for a few epochs retains part of its forecast.
+
+        This is the mechanism behind Figure 6's resilience: raw windowed
+        means keep pre-burst benefit alive for up to h epochs.
+        """
+        history = [20.0] * 8 + [0.0] * 4  # 4 idle epochs
+        total = total_predicted_benefit(history, 12, min_window=1)
+        assert total > 0.3 * total_predicted_benefit([20.0] * 12, 12, min_window=1)

@@ -1,0 +1,93 @@
+"""Unit and property tests for CLT gain intervals."""
+
+import math
+import statistics
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.intervals import GainStats, z_value
+
+
+class TestZValue:
+    def test_known_quantiles(self):
+        assert z_value(0.90) == pytest.approx(1.645, abs=0.01)
+        assert z_value(0.95) == pytest.approx(1.960, abs=0.01)
+
+    def test_monotone(self):
+        values = [z_value(c) for c in (0.6, 0.8, 0.9, 0.95, 0.99)]
+        assert values == sorted(values)
+
+    def test_extremes(self):
+        assert z_value(0.995) == pytest.approx(2.576, abs=0.01)
+
+
+class TestGainStats:
+    def test_empty(self):
+        stats = GainStats()
+        assert stats.count == 0
+        assert stats.mean == 0.0
+        assert stats.low == 0.0
+        assert math.isinf(stats.high)
+
+    def test_single_sample(self):
+        stats = GainStats()
+        stats.add(100.0)
+        lo, hi = stats.interval()
+        assert lo == pytest.approx(50.0)
+        assert hi == pytest.approx(150.0)
+
+    def test_identical_samples_tighten_to_point(self):
+        stats = GainStats()
+        for _ in range(20):
+            stats.add(42.0)
+        lo, hi = stats.interval()
+        assert lo == pytest.approx(42.0)
+        assert hi == pytest.approx(42.0)
+
+    def test_low_floored_at_zero(self):
+        stats = GainStats()
+        stats.add(1.0)
+        stats.add(-100.0)
+        assert stats.low == 0.0
+
+    def test_interval_narrows_with_samples(self):
+        import random
+
+        rng = random.Random(0)
+        stats = GainStats()
+        widths = []
+        for i in range(1, 101):
+            stats.add(rng.gauss(50, 10))
+            if i in (5, 25, 100):
+                lo, hi = stats.interval()
+                widths.append(hi - lo)
+        assert widths[0] > widths[1] > widths[2]
+
+    def test_relative_uncertainty(self):
+        stats = GainStats()
+        assert math.isinf(stats.relative_uncertainty())
+        for v in (10.0, 20.0, 30.0):
+            stats.add(v)
+        assert 0.0 < stats.relative_uncertainty() < 5.0
+
+    @given(samples=st.lists(st.floats(-1e5, 1e5), min_size=2, max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_welford_matches_statistics_module(self, samples):
+        stats = GainStats()
+        for v in samples:
+            stats.add(v)
+        assert stats.mean == pytest.approx(statistics.fmean(samples), abs=1e-6, rel=1e-9)
+        assert stats.variance == pytest.approx(
+            statistics.variance(samples), abs=1e-4, rel=1e-6
+        )
+
+    @given(samples=st.lists(st.floats(0, 1e4), min_size=1, max_size=50))
+    @settings(max_examples=60, deadline=None)
+    def test_interval_contains_mean(self, samples):
+        stats = GainStats()
+        for v in samples:
+            stats.add(v)
+        lo, hi = stats.interval()
+        assert lo - 1e-9 <= stats.mean <= hi + 1e-9

@@ -1,0 +1,89 @@
+"""Unit tests for the materialization scheduler."""
+
+import pytest
+
+from repro.core.scheduler import Scheduler, SchedulingPolicy
+from repro.engine.storage import PhysicalStore
+
+
+class TestImmediatePolicy:
+    def test_build_charges_cost_and_materializes(self, small_catalog):
+        scheduler = Scheduler(small_catalog)
+        ix = small_catalog.index_for("events", "user_id")
+        charged = scheduler.request_materialization([ix])
+        assert charged > 0
+        assert small_catalog.is_materialized(ix)
+        assert scheduler.total_build_cost == charged
+        assert [b.index for b in scheduler.builds] == [ix]
+
+    def test_already_materialized_is_free(self, small_catalog):
+        scheduler = Scheduler(small_catalog)
+        ix = small_catalog.index_for("events", "user_id")
+        scheduler.request_materialization([ix])
+        assert scheduler.request_materialization([ix]) == 0.0
+
+    def test_drop(self, small_catalog):
+        scheduler = Scheduler(small_catalog)
+        ix = small_catalog.index_for("events", "user_id")
+        scheduler.request_materialization([ix])
+        scheduler.request_drop([ix])
+        assert not small_catalog.is_materialized(ix)
+
+
+class TestIdlePolicy:
+    def test_requests_queue_without_cost(self, small_catalog):
+        scheduler = Scheduler(small_catalog, policy=SchedulingPolicy.IDLE)
+        ix = small_catalog.index_for("events", "user_id")
+        assert scheduler.request_materialization([ix]) == 0.0
+        assert not small_catalog.is_materialized(ix)
+        assert scheduler.pending == [ix]
+
+    def test_on_idle_builds(self, small_catalog):
+        scheduler = Scheduler(small_catalog, policy=SchedulingPolicy.IDLE)
+        ix = small_catalog.index_for("events", "user_id")
+        scheduler.request_materialization([ix])
+        charged = scheduler.on_idle()
+        assert charged > 0
+        assert small_catalog.is_materialized(ix)
+        assert scheduler.pending == []
+
+    def test_on_idle_respects_max_builds(self, small_catalog):
+        scheduler = Scheduler(small_catalog, policy=SchedulingPolicy.IDLE)
+        ixs = [
+            small_catalog.index_for("events", "user_id"),
+            small_catalog.index_for("events", "day"),
+        ]
+        scheduler.request_materialization(ixs)
+        scheduler.on_idle(max_builds=1)
+        assert len(scheduler.pending) == 1
+
+    def test_drop_cancels_pending(self, small_catalog):
+        scheduler = Scheduler(small_catalog, policy=SchedulingPolicy.IDLE)
+        ix = small_catalog.index_for("events", "user_id")
+        scheduler.request_materialization([ix])
+        scheduler.request_drop([ix])
+        assert scheduler.pending == []
+
+    def test_duplicate_request_queued_once(self, small_catalog):
+        scheduler = Scheduler(small_catalog, policy=SchedulingPolicy.IDLE)
+        ix = small_catalog.index_for("events", "user_id")
+        scheduler.request_materialization([ix])
+        scheduler.request_materialization([ix])
+        assert scheduler.pending == [ix]
+
+
+class TestPhysicalIntegration:
+    def test_builds_real_tree(self, small_store):
+        scheduler = Scheduler(small_store.catalog, store=small_store)
+        ix = small_store.catalog.index_for("events", "user_id")
+        scheduler.request_materialization([ix])
+        tree = small_store.tree(ix)
+        assert tree is not None
+        assert len(tree) == len(small_store.heap("events"))
+
+    def test_drop_removes_tree(self, small_store):
+        scheduler = Scheduler(small_store.catalog, store=small_store)
+        ix = small_store.catalog.index_for("events", "user_id")
+        scheduler.request_materialization([ix])
+        scheduler.request_drop([ix])
+        assert small_store.tree(ix) is None

@@ -1,0 +1,129 @@
+"""Unit tests for the system catalog."""
+
+import pytest
+
+from repro.engine.catalog import Catalog, ColumnDef, ColumnRef, TableDef
+from repro.engine.datatypes import DataType
+from repro.engine.stats import ColumnStats
+
+
+def _table(name="t", rows=1000.0):
+    return TableDef(
+        name,
+        [ColumnDef("a", DataType.INT), ColumnDef("b", DataType.TEXT, indexable=False)],
+        row_count=rows,
+    )
+
+
+class TestTables:
+    def test_add_and_lookup(self):
+        catalog = Catalog()
+        catalog.add_table(_table())
+        assert catalog.has_table("t")
+        assert catalog.table("t").row_count == 1000.0
+
+    def test_duplicate_table_rejected(self):
+        catalog = Catalog()
+        catalog.add_table(_table())
+        with pytest.raises(ValueError):
+            catalog.add_table(_table())
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(ValueError):
+            TableDef("x", [ColumnDef("a", DataType.INT), ColumnDef("a", DataType.INT)])
+
+    def test_unknown_table(self):
+        with pytest.raises(KeyError):
+            Catalog().table("missing")
+
+    def test_row_width(self):
+        table = _table()
+        assert table.row_width == DataType.INT.width + DataType.TEXT.width
+
+    def test_indexable_columns_respects_flag(self):
+        catalog = Catalog()
+        catalog.add_table(_table())
+        refs = catalog.indexable_columns()
+        assert ColumnRef("t", "a") in refs
+        assert ColumnRef("t", "b") not in refs
+
+
+class TestStats:
+    def test_declared_stats_roundtrip(self):
+        catalog = Catalog()
+        catalog.add_table(_table())
+        stats = ColumnStats(n_distinct=10, min_value=0, max_value=9)
+        catalog.set_stats("t", "a", stats)
+        assert catalog.stats("t", "a") is stats
+
+    def test_default_stats_fallback(self):
+        catalog = Catalog()
+        catalog.add_table(_table())
+        stats = catalog.stats("t", "a")
+        assert stats.n_distinct > 0
+
+    def test_set_stats_validates_column(self):
+        catalog = Catalog()
+        catalog.add_table(_table())
+        with pytest.raises(KeyError):
+            catalog.set_stats("t", "zzz", ColumnStats(1, 0, 0))
+
+    def test_analyze_table(self):
+        catalog = Catalog()
+        catalog.add_table(_table())
+        catalog.analyze_table("t", {"a": [1, 1, 2, 3]})
+        assert catalog.stats("t", "a").n_distinct == 3
+
+
+class TestIndexes:
+    def test_index_for(self):
+        catalog = Catalog()
+        catalog.add_table(_table())
+        index = catalog.index_for("t", "a")
+        assert index.name == "ix_t_a"
+        assert index.dtype is DataType.INT
+
+    def test_materialize_and_drop(self):
+        catalog = Catalog()
+        catalog.add_table(_table())
+        index = catalog.index_for("t", "a")
+        assert not catalog.is_materialized(index)
+        catalog.materialize_index(index)
+        assert catalog.is_materialized(index)
+        assert catalog.materialized_indexes() == [index]
+        catalog.drop_index(index)
+        assert not catalog.is_materialized(index)
+        catalog.drop_index(index)  # idempotent
+
+    def test_materialized_by_table(self):
+        catalog = Catalog()
+        catalog.add_table(_table("t1"))
+        catalog.add_table(_table("t2"))
+        ix1 = catalog.index_for("t1", "a")
+        ix2 = catalog.index_for("t2", "a")
+        catalog.materialize_index(ix1)
+        catalog.materialize_index(ix2)
+        assert catalog.materialized_indexes("t1") == [ix1]
+
+    def test_sizes_scale_with_rows(self):
+        catalog = Catalog()
+        catalog.add_table(_table("small", rows=1000))
+        catalog.add_table(_table("big", rows=1_000_000))
+        assert catalog.index_size_pages(
+            catalog.index_for("big", "a")
+        ) > catalog.index_size_pages(catalog.index_for("small", "a"))
+
+    def test_build_cost_positive_and_monotone(self):
+        catalog = Catalog()
+        catalog.add_table(_table("small", rows=1000))
+        catalog.add_table(_table("big", rows=1_000_000))
+        small = catalog.index_build_cost(catalog.index_for("small", "a"))
+        big = catalog.index_build_cost(catalog.index_for("big", "a"))
+        assert 0 < small < big
+
+    def test_materialized_size_total(self):
+        catalog = Catalog()
+        catalog.add_table(_table())
+        assert catalog.materialized_size_pages() == 0.0
+        catalog.materialize_index(catalog.index_for("t", "a"))
+        assert catalog.materialized_size_pages() > 0.0

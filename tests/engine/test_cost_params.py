@@ -1,0 +1,71 @@
+"""Unit tests for the planner cost constants and size formulas."""
+
+from repro.engine.cost_params import CostParams
+
+
+class TestHeapPages:
+    def test_empty_relation(self):
+        assert CostParams().heap_pages(0, 100) == 0.0
+
+    def test_minimum_one_page(self):
+        assert CostParams().heap_pages(1, 10) == 1.0
+
+    def test_scales_linearly(self):
+        params = CostParams()
+        one = params.heap_pages(100_000, 100)
+        two = params.heap_pages(200_000, 100)
+        assert abs(two - 2 * one) < 1e-6
+
+    def test_wider_rows_need_more_pages(self):
+        params = CostParams()
+        assert params.heap_pages(100_000, 200) > params.heap_pages(100_000, 50)
+
+    def test_row_too_wide_for_page_still_works(self):
+        params = CostParams()
+        assert params.heap_pages(10, params.page_size * 2) == 10.0
+
+
+class TestIndexPages:
+    def test_empty_index(self):
+        assert CostParams().index_pages(0, 8) == 0.0
+
+    def test_leaves_smaller_than_heap(self):
+        params = CostParams()
+        # A 4-byte key index is far smaller than a 150-byte-row heap.
+        assert params.index_pages(1_000_000, 4) < params.heap_pages(1_000_000, 150)
+
+    def test_fill_factor_reduces_capacity(self):
+        loose = CostParams(index_fill_factor=0.5)
+        tight = CostParams(index_fill_factor=1.0)
+        assert loose.index_pages(100_000, 8) > tight.index_pages(100_000, 8)
+
+
+class TestIndexHeight:
+    def test_single_leaf(self):
+        assert CostParams().index_height(1.0) == 1
+
+    def test_grows_with_leaves(self):
+        params = CostParams()
+        assert params.index_height(10_000.0) > params.index_height(10.0)
+
+    def test_logarithmic(self):
+        params = CostParams()
+        # 256^2 leaf pages → 3 levels (two internal + leaf).
+        assert params.index_height(256.0 * 256.0) <= 4
+
+
+class TestDefaults:
+    def test_postgres_flavoured_defaults(self):
+        params = CostParams()
+        assert params.seq_page_cost == 1.0
+        assert params.random_page_cost == 4.0
+        assert params.cpu_tuple_cost == 0.01
+        assert params.random_page_cost > params.seq_page_cost
+
+    def test_frozen(self):
+        import dataclasses
+
+        import pytest
+
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            CostParams().seq_page_cost = 2.0  # type: ignore[misc]

@@ -1,0 +1,102 @@
+"""Unit tests for scalar types and coercion."""
+
+import datetime
+
+import pytest
+
+from repro.engine.datatypes import (
+    DataType,
+    coerce,
+    comparable,
+    date_to_ordinal,
+    ordinal_to_date,
+    parse_date,
+)
+
+
+class TestWidths:
+    def test_every_type_has_positive_width(self):
+        for dtype in DataType:
+            assert dtype.width > 0
+
+    def test_numeric_flags(self):
+        assert DataType.INT.is_numeric
+        assert DataType.FLOAT.is_numeric
+        assert DataType.DATE.is_numeric
+        assert not DataType.TEXT.is_numeric
+
+
+class TestDates:
+    def test_epoch_is_zero(self):
+        assert date_to_ordinal(datetime.date(1970, 1, 1)) == 0
+
+    def test_roundtrip(self):
+        for day in (0, 1, 365, 10_000, -400):
+            assert date_to_ordinal(ordinal_to_date(day)) == day
+
+    def test_parse_iso(self):
+        assert parse_date("1970-01-02") == 1
+        assert parse_date("1992-01-01") == 8035
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_date("not-a-date")
+
+
+class TestCoerce:
+    def test_int_accepts_int(self):
+        assert coerce(42, DataType.INT) == 42
+
+    def test_int_accepts_integral_float(self):
+        assert coerce(42.0, DataType.INT) == 42
+
+    def test_int_rejects_fractional_float(self):
+        with pytest.raises(TypeError):
+            coerce(42.5, DataType.INT)
+
+    def test_int_rejects_bool(self):
+        with pytest.raises(TypeError):
+            coerce(True, DataType.INT)
+
+    def test_float_widens_int(self):
+        value = coerce(7, DataType.FLOAT)
+        assert value == 7.0
+        assert isinstance(value, float)
+
+    def test_float_rejects_string(self):
+        with pytest.raises(TypeError):
+            coerce("7", DataType.FLOAT)
+
+    def test_text_accepts_str_only(self):
+        assert coerce("abc", DataType.TEXT) == "abc"
+        with pytest.raises(TypeError):
+            coerce(3, DataType.TEXT)
+
+    def test_date_accepts_many_forms(self):
+        d = datetime.date(1995, 6, 1)
+        ordinal = date_to_ordinal(d)
+        assert coerce(d, DataType.DATE) == ordinal
+        assert coerce(ordinal, DataType.DATE) == ordinal
+        assert coerce("1995-06-01", DataType.DATE) == ordinal
+
+    def test_null_rejected(self):
+        with pytest.raises(TypeError):
+            coerce(None, DataType.INT)
+
+
+class TestComparable:
+    def test_same_type(self):
+        for dtype in DataType:
+            assert comparable(dtype, dtype)
+
+    def test_int_float_cross(self):
+        assert comparable(DataType.INT, DataType.FLOAT)
+        assert comparable(DataType.FLOAT, DataType.INT)
+
+    def test_text_not_comparable_to_numbers(self):
+        assert not comparable(DataType.TEXT, DataType.INT)
+        assert not comparable(DataType.DATE, DataType.TEXT)
+
+    def test_date_not_comparable_to_int(self):
+        # Dates are stored as ints but are semantically distinct.
+        assert not comparable(DataType.DATE, DataType.INT)

@@ -1,0 +1,50 @@
+"""Unit tests for index descriptors."""
+
+from repro.engine.cost_params import CostParams
+from repro.engine.datatypes import DataType
+from repro.engine.index import IndexDef
+
+
+class TestIndexDef:
+    def test_identity_is_table_column(self):
+        a = IndexDef("t", "c", DataType.INT)
+        b = IndexDef("t", "c", DataType.INT)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != IndexDef("t", "d", DataType.INT)
+
+    def test_name(self):
+        assert IndexDef("lineitem_1", "l_shipdate", DataType.DATE).name == (
+            "ix_lineitem_1_l_shipdate"
+        )
+
+    def test_usable_in_sets(self):
+        s = {IndexDef("t", "c", DataType.INT)}
+        assert IndexDef("t", "c", DataType.INT) in s
+
+
+class TestSizing:
+    def test_size_grows_with_rows(self):
+        params = CostParams()
+        ix = IndexDef("t", "c", DataType.INT)
+        assert ix.size_pages(1_000_000, params) > ix.size_pages(1_000, params)
+
+    def test_wider_keys_bigger_index(self):
+        params = CostParams()
+        narrow = IndexDef("t", "c", DataType.INT).size_pages(100_000, params)
+        wide = IndexDef("t", "c", DataType.TEXT).size_pages(100_000, params)
+        assert wide > narrow
+
+    def test_materialization_cost_components(self):
+        params = CostParams()
+        ix = IndexDef("t", "c", DataType.INT)
+        cost = ix.materialization_cost(100_000, 1000.0, params)
+        # Must at least cover the heap scan.
+        assert cost > 1000.0 * params.seq_page_cost
+
+    def test_materialization_cost_monotone_in_rows(self):
+        params = CostParams()
+        ix = IndexDef("t", "c", DataType.INT)
+        assert ix.materialization_cost(200_000, 2000.0, params) > (
+            ix.materialization_cost(100_000, 1000.0, params)
+        )

@@ -1,0 +1,149 @@
+"""Unit and property tests for column statistics and histograms."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.datatypes import DataType
+from repro.engine.stats import (
+    ColumnStats,
+    Histogram,
+    _order_correlation,
+    default_stats_for,
+)
+
+
+class TestHistogram:
+    def test_empty(self):
+        h = Histogram.from_values([])
+        assert h.num_buckets == 0
+        assert h.fraction_below(5) == 0.0
+
+    def test_uniform_fractions(self):
+        h = Histogram.from_values(list(range(1000)), num_buckets=50)
+        assert abs(h.fraction_below(500) - 0.5) < 0.05
+        assert abs(h.fraction_below(100) - 0.1) < 0.05
+
+    def test_bounds(self):
+        h = Histogram.from_values(list(range(100)))
+        assert h.fraction_below(-1) == 0.0
+        assert h.fraction_below(1000) == 1.0
+
+    def test_skewed_data(self):
+        # 90% of values are 0; the histogram should reflect that mass.
+        values = [0] * 900 + list(range(1, 101))
+        h = Histogram.from_values(values, num_buckets=20)
+        assert h.range_fraction(0, 0) > 0.5
+
+    def test_range_fraction_empty_range(self):
+        h = Histogram.from_values(list(range(100)))
+        assert h.range_fraction(50, 40) == 0.0
+
+    @given(
+        values=st.lists(st.integers(-1000, 1000), min_size=1, max_size=300),
+        low=st.integers(-1200, 1200),
+        width=st.integers(0, 500),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_range_fraction_properties(self, values, low, width):
+        h = Histogram.from_values(values)
+        frac = h.range_fraction(low, low + width)
+        assert 0.0 <= frac <= 1.0
+        wider = h.range_fraction(low, low + width + 100)
+        assert wider >= frac - 1e-9
+
+    @given(values=st.lists(st.integers(0, 100), min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_full_range_covers_everything(self, values):
+        h = Histogram.from_values(values)
+        assert h.range_fraction(min(values), max(values)) >= 0.99 or len(set(values)) == 1
+
+
+class TestColumnStats:
+    def test_from_values(self):
+        stats = ColumnStats.from_values([1, 2, 2, 3, 3, 3])
+        assert stats.n_distinct == 3
+        assert stats.min_value == 1
+        assert stats.max_value == 3
+
+    def test_eq_selectivity(self):
+        stats = ColumnStats(n_distinct=100, min_value=0, max_value=999)
+        assert stats.eq_selectivity(5) == pytest.approx(0.01)
+
+    def test_eq_selectivity_out_of_bounds(self):
+        stats = ColumnStats(n_distinct=100, min_value=0, max_value=999)
+        assert stats.eq_selectivity(5000) == 0.0
+        assert stats.eq_selectivity(-1) == 0.0
+
+    def test_range_selectivity_uniform(self):
+        stats = ColumnStats(n_distinct=1000, min_value=0, max_value=1000)
+        assert stats.range_selectivity(0, 500) == pytest.approx(0.5, abs=0.01)
+
+    def test_range_selectivity_open_bounds(self):
+        stats = ColumnStats(n_distinct=1000, min_value=0, max_value=1000)
+        assert stats.range_selectivity(None, None) == pytest.approx(1.0)
+
+    def test_range_selectivity_floor(self):
+        # An inclusive non-empty range matches at least one value's rows.
+        stats = ColumnStats(n_distinct=100, min_value=0, max_value=1000)
+        assert stats.range_selectivity(5, 5) >= 1.0 / 100
+
+    def test_empty_column(self):
+        stats = ColumnStats.from_values([])
+        assert stats.n_distinct == 0
+        assert stats.eq_selectivity(1) == 0.0
+        assert stats.range_selectivity(0, 10) == 0.0
+
+    def test_scaled(self):
+        stats = ColumnStats.from_values([1, 2, 3])
+        scaled = stats.scaled(100.0)
+        assert scaled.n_distinct == 300.0
+        assert scaled.min_value == stats.min_value
+
+    def test_histogram_beats_uniform_on_skew(self):
+        values = [0] * 990 + [1000] * 10
+        stats = ColumnStats.from_values(values)
+        # Uniform interpolation would say [0, 10] covers ~1% of the span;
+        # the histogram knows it covers ~99% of the rows.
+        assert stats.range_selectivity(0, 10) > 0.5
+
+    @given(
+        values=st.lists(st.floats(0, 1e6, allow_nan=False), min_size=2, max_size=200),
+        lo=st.floats(0, 1e6),
+        hi=st.floats(0, 1e6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_selectivities_bounded(self, values, lo, hi):
+        stats = ColumnStats.from_values(values)
+        assert 0.0 <= stats.eq_selectivity(lo) <= 1.0
+        assert 0.0 <= stats.range_selectivity(min(lo, hi), max(lo, hi)) <= 1.0
+
+
+class TestCorrelation:
+    def test_sorted_data_fully_correlated(self):
+        assert _order_correlation(list(range(100))) == pytest.approx(1.0)
+
+    def test_reversed_data_anticorrelated(self):
+        assert _order_correlation(list(range(100))[::-1]) == pytest.approx(-1.0)
+
+    def test_constant_data(self):
+        # Ties rank by position, yielding full correlation for constants.
+        assert -1.0 <= _order_correlation([5] * 50) <= 1.0
+
+    def test_shuffled_data_low_correlation(self):
+        import random
+
+        values = list(range(1000))
+        random.Random(7).shuffle(values)
+        assert abs(_order_correlation(values)) < 0.2
+
+
+class TestDefaults:
+    def test_numeric_default(self):
+        stats = default_stats_for(DataType.INT, 500.0)
+        assert stats.n_distinct > 0
+        assert stats.min_value is not None
+
+    def test_text_default(self):
+        stats = default_stats_for(DataType.TEXT, 500.0)
+        assert stats.n_distinct > 0

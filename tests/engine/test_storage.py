@@ -1,0 +1,101 @@
+"""Unit tests for heap storage and the physical store."""
+
+import pytest
+
+from repro.engine.catalog import Catalog, ColumnDef, TableDef
+from repro.engine.datatypes import DataType
+from repro.engine.storage import HeapTable, PhysicalStore
+
+
+def _catalog():
+    catalog = Catalog()
+    catalog.add_table(
+        TableDef(
+            "t",
+            [ColumnDef("a", DataType.INT), ColumnDef("b", DataType.TEXT)],
+        )
+    )
+    return catalog
+
+
+class TestHeapTable:
+    def test_insert_and_read(self):
+        heap = HeapTable(_catalog().table("t"))
+        rid = heap.insert((1, "x"))
+        assert rid == 0
+        assert heap.row(0) == (1, "x")
+        assert heap.value(0, "a") == 1
+        assert len(heap) == 1
+
+    def test_wrong_arity(self):
+        heap = HeapTable(_catalog().table("t"))
+        with pytest.raises(ValueError):
+            heap.insert((1,))
+
+    def test_type_enforcement(self):
+        heap = HeapTable(_catalog().table("t"))
+        with pytest.raises(TypeError):
+            heap.insert(("not-an-int", "x"))
+
+    def test_scan_order(self):
+        heap = HeapTable(_catalog().table("t"))
+        heap.insert_many([(i, str(i)) for i in range(10)])
+        rows = list(heap.scan())
+        assert [rid for rid, _ in rows] == list(range(10))
+        assert rows[3][1] == (3, "3")
+
+    def test_column_access(self):
+        heap = HeapTable(_catalog().table("t"))
+        heap.insert_many([(5, "a"), (6, "b")])
+        assert heap.column("a") == [5, 6]
+
+
+class TestPhysicalStore:
+    def test_create_heap_idempotent(self):
+        store = PhysicalStore(_catalog())
+        h1 = store.create_heap("t")
+        h2 = store.create_heap("t")
+        assert h1 is h2
+        assert store.has_heap("t")
+
+    def test_build_index_registers_catalog(self):
+        store = PhysicalStore(_catalog())
+        heap = store.create_heap("t")
+        heap.insert_many([(3, "x"), (1, "y"), (3, "z")])
+        index = store.catalog.index_for("t", "a")
+        tree = store.build_index(index)
+        assert store.catalog.is_materialized(index)
+        assert sorted(tree.search(3)) == [0, 2]
+        assert store.tree(index) is tree
+
+    def test_drop_index_removes_both(self):
+        store = PhysicalStore(_catalog())
+        store.create_heap("t")
+        index = store.catalog.index_for("t", "a")
+        store.build_index(index)
+        store.drop_index(index)
+        assert store.tree(index) is None
+        assert not store.catalog.is_materialized(index)
+
+    def test_build_index_without_heap(self):
+        store = PhysicalStore(_catalog())
+        index = store.catalog.index_for("t", "a")
+        tree = store.build_index(index)
+        assert len(tree) == 0
+
+    def test_analyze_measures_stats(self):
+        store = PhysicalStore(_catalog())
+        heap = store.create_heap("t")
+        heap.insert_many([(i % 5, "x") for i in range(100)])
+        store.analyze("t")
+        assert store.catalog.table("t").row_count == 100
+        assert store.catalog.stats("t", "a").n_distinct == 5
+
+    def test_analyze_scale_to_declares_paper_scale(self):
+        store = PhysicalStore(_catalog())
+        heap = store.create_heap("t")
+        heap.insert_many([(i, "x") for i in range(100)])
+        store.analyze("t", scale_to=1_000_000)
+        assert store.catalog.table("t").row_count == 1_000_000
+        # Distinct count scaled up, capped at the declared rows.
+        assert store.catalog.stats("t", "a").n_distinct == pytest.approx(1_000_000)

@@ -1,0 +1,151 @@
+"""Cross-checks: index-driven plans return exactly what seq plans return.
+
+This is the executor's core correctness property and also exercises the
+plumbing COLT relies on: after the scheduler builds an index, the same
+query must produce the same rows through the new plan.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.executor.executor import execute
+from repro.optimizer.optimizer import Optimizer, PlanCache
+from repro.optimizer.plan import IndexScanNode
+from repro.sql.binder import bind_query
+from repro.sql.parser import parse_query
+
+
+def _results(store, sql, config):
+    q = bind_query(parse_query(sql), store.catalog)
+    plan = Optimizer(store.catalog).optimize(q, config=config, cache=PlanCache()).plan
+    return sorted(execute(plan, store)), plan
+
+
+def _indexed_config(store, *cols):
+    config = []
+    for table, column in cols:
+        index = store.catalog.index_for(table, column)
+        store.build_index(index)
+        config.append(index)
+    return frozenset(config)
+
+
+class TestIndexSeqEquivalence:
+    def test_eq_lookup(self, small_store):
+        sql = "select user_id, amount from events where user_id = 33"
+        seq, _ = _results(small_store, sql, frozenset())
+        config = _indexed_config(small_store, ("events", "user_id"))
+        idx, plan = _results(small_store, sql, config)
+        assert any(isinstance(n, IndexScanNode) for n in _walk(plan))
+        assert seq == idx
+
+    def test_range_scan(self, small_store):
+        sql = "select day from events where day between 8100 and 8150"
+        seq, _ = _results(small_store, sql, frozenset())
+        config = _indexed_config(small_store, ("events", "day"))
+        idx, plan = _results(small_store, sql, config)
+        assert any(isinstance(n, IndexScanNode) for n in _walk(plan))
+        assert seq == idx
+
+    def test_in_scan(self, small_store):
+        sql = "select user_id from events where user_id in (5, 6, 7)"
+        seq, _ = _results(small_store, sql, frozenset())
+        config = _indexed_config(small_store, ("events", "user_id"))
+        idx, _ = _results(small_store, sql, config)
+        assert seq == idx
+
+    def test_residual_filter_applied(self, small_store):
+        sql = "select user_id, amount from events where user_id = 9 and amount > 400"
+        seq, _ = _results(small_store, sql, frozenset())
+        config = _indexed_config(small_store, ("events", "user_id"))
+        idx, _ = _results(small_store, sql, config)
+        assert seq == idx
+
+    def test_join_with_inner_index(self, small_store):
+        sql = (
+            "select events.user_id, users.score from events, users "
+            "where events.user_id = users.user_id and events.day = 8000"
+        )
+        seq, _ = _results(small_store, sql, frozenset())
+        config = _indexed_config(
+            small_store, ("users", "user_id"), ("events", "day")
+        )
+        idx, _ = _results(small_store, sql, config)
+        assert seq == idx
+
+    def test_unbuilt_index_raises(self, small_store):
+        # Materialized in the catalog but never physically built.
+        index = small_store.catalog.index_for("events", "user_id")
+        small_store.catalog.materialize_index(index)
+        sql = "select user_id from events where user_id = 3"
+        q = bind_query(parse_query(sql), small_store.catalog)
+        plan = Optimizer(small_store.catalog).optimize(q).plan
+        if any(isinstance(n, IndexScanNode) for n in _walk(plan)):
+            with pytest.raises(RuntimeError):
+                execute(plan, small_store)
+
+
+class TestPropertyEquivalence:
+    @given(
+        user=st.integers(1, 500),
+        lo=st.floats(0, 900),
+        width=st.floats(1, 300),
+        seed=st.integers(0, 3),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_conjunctions(self, small_store_factory, user, lo, width, seed):
+        store = small_store_factory(seed)
+        sql = (
+            f"select user_id, amount from events "
+            f"where user_id = {user} and amount between {lo:.2f} and {lo + width:.2f}"
+        )
+        seq, _ = _results(store, sql, frozenset())
+        index = store.catalog.index_for("events", "user_id")
+        store.build_index(index)
+        idx, _ = _results(store, sql, frozenset([index]))
+        assert seq == idx
+
+
+@pytest.fixture(scope="module")
+def small_store_factory():
+    """Factory producing deterministic small stores, cached per seed."""
+    from repro.engine.catalog import Catalog, ColumnDef, TableDef
+    from repro.engine.datatypes import DataType
+    from repro.engine.storage import PhysicalStore
+
+    cache = {}
+
+    def build(seed: int) -> PhysicalStore:
+        if seed in cache:
+            return cache[seed]
+        rng = random.Random(seed)
+        catalog = Catalog()
+        catalog.add_table(
+            TableDef(
+                "events",
+                [
+                    ColumnDef("user_id", DataType.INT),
+                    ColumnDef("amount", DataType.FLOAT),
+                ],
+            )
+        )
+        store = PhysicalStore(catalog)
+        heap = store.create_heap("events")
+        for _ in range(2000):
+            heap.insert((rng.randint(1, 500), rng.uniform(0, 1000)))
+        store.analyze("events")
+        cache[seed] = store
+        return store
+
+    return build
+
+
+def _walk(plan):
+    stack = [plan]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(node.children())

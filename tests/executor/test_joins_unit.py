@@ -1,0 +1,103 @@
+"""Direct unit tests for executor join internals."""
+
+import pytest
+
+from repro.executor.joins import _split_keys, hash_join, nested_loop
+from repro.optimizer.plan import HashJoinNode, NestedLoopNode, SeqScanNode
+from repro.sql.ast import ColumnExpr, JoinPredicate
+
+
+def _scan(table):
+    return SeqScanNode(rows=1.0, cost=1.0, table=table, filters=[])
+
+
+def _join_node(cls, left_table, right_table, pairs, **kwargs):
+    joins = [
+        JoinPredicate(ColumnExpr(lc, left_table), ColumnExpr(rc, right_table))
+        for lc, rc in pairs
+    ]
+    if cls is HashJoinNode:
+        return HashJoinNode(
+            rows=1.0, cost=1.0, probe=_scan(left_table), build=_scan(right_table),
+            joins=joins,
+        )
+    return NestedLoopNode(
+        rows=1.0, cost=1.0, outer=_scan(left_table), inner=_scan(right_table),
+        joins=joins,
+    )
+
+
+class TestSplitKeys:
+    def test_orientation_follows_probe_side(self):
+        node = _join_node(HashJoinNode, "a", "b", [("x", "y")])
+        build_keys, probe_keys = _split_keys(node)
+        assert [str(k) for k in probe_keys] == ["a.x"]
+        assert [str(k) for k in build_keys] == ["b.y"]
+
+    def test_reversed_predicate_still_oriented(self):
+        # Join written b.y = a.x while probing a.
+        node = HashJoinNode(
+            rows=1.0,
+            cost=1.0,
+            probe=_scan("a"),
+            build=_scan("b"),
+            joins=[JoinPredicate(ColumnExpr("y", "b"), ColumnExpr("x", "a"))],
+        )
+        build_keys, probe_keys = _split_keys(node)
+        assert [str(k) for k in probe_keys] == ["a.x"]
+        assert [str(k) for k in build_keys] == ["b.y"]
+
+    def test_multi_key_order_consistent(self):
+        node = _join_node(HashJoinNode, "a", "b", [("x", "y"), ("u", "v")])
+        build_keys, probe_keys = _split_keys(node)
+        assert [str(k) for k in probe_keys] == ["a.x", "a.u"]
+        assert [str(k) for k in build_keys] == ["b.y", "b.v"]
+
+
+class TestHashJoinIterator:
+    def _rows(self, table, pairs):
+        return [
+            {(table, "k"): k, (table, "v"): v} for k, v in pairs
+        ]
+
+    def test_matches_and_merges(self):
+        node = _join_node(HashJoinNode, "l", "r", [("k", "k")])
+        left = self._rows("l", [(1, "a"), (2, "b")])
+        right = self._rows("r", [(1, "x"), (3, "y")])
+        out = list(hash_join(node, probe=lambda: iter(left), build=lambda: iter(right)))
+        assert len(out) == 1
+        assert out[0][("l", "v")] == "a"
+        assert out[0][("r", "v")] == "x"
+
+    def test_duplicate_build_keys_multiply(self):
+        node = _join_node(HashJoinNode, "l", "r", [("k", "k")])
+        left = self._rows("l", [(1, "a")])
+        right = self._rows("r", [(1, "x"), (1, "y")])
+        out = list(hash_join(node, probe=lambda: iter(left), build=lambda: iter(right)))
+        assert len(out) == 2
+
+
+class TestNestedLoopIterator:
+    def test_cartesian_when_no_predicates(self, small_store):
+        node = NestedLoopNode(
+            rows=1.0, cost=1.0, outer=_scan("l"), inner=_scan("r"), joins=[]
+        )
+        left = [{("l", "k"): i} for i in range(3)]
+        right = [{("r", "k"): i} for i in range(4)]
+        out = list(
+            nested_loop(
+                node, small_store, outer=lambda: iter(left), inner=lambda: iter(right)
+            )
+        )
+        assert len(out) == 12
+
+    def test_predicates_filter(self, small_store):
+        node = _join_node(NestedLoopNode, "l", "r", [("k", "k")])
+        left = [{("l", "k"): i} for i in range(3)]
+        right = [{("r", "k"): i} for i in range(3)]
+        out = list(
+            nested_loop(
+                node, small_store, outer=lambda: iter(left), inner=lambda: iter(right)
+            )
+        )
+        assert len(out) == 3

@@ -1,0 +1,146 @@
+"""Unit tests for individual executor operators."""
+
+import pytest
+
+from repro.executor.executor import execute
+from repro.optimizer.optimizer import Optimizer
+from repro.sql.binder import bind_query
+from repro.sql.parser import parse_query
+
+
+def _run(store, sql):
+    q = bind_query(parse_query(sql), store.catalog)
+    plan = Optimizer(store.catalog).optimize(q).plan
+    return execute(plan, store)
+
+
+class TestScansAndFilters:
+    def test_full_scan_count(self, small_store):
+        rows = _run(small_store, "select * from users")
+        assert len(rows) == 500
+
+    def test_eq_filter(self, small_store):
+        rows = _run(small_store, "select user_id, score from users where user_id = 42")
+        assert len(rows) == 1
+        assert rows[0][0] == 42
+
+    def test_between_filter(self, small_store):
+        rows = _run(small_store, "select user_id from users where user_id between 10 and 19")
+        assert sorted(r[0] for r in rows) == list(range(10, 20))
+
+    def test_in_filter(self, small_store):
+        rows = _run(small_store, "select user_id from users where user_id in (1, 2, 999)")
+        assert sorted(r[0] for r in rows) == [1, 2]
+
+    def test_string_filter(self, small_store):
+        rows = _run(small_store, "select kind from events where kind = 'buy'")
+        assert rows and all(r[0] == "buy" for r in rows)
+
+    def test_conjunction(self, small_store):
+        rows = _run(
+            small_store,
+            "select user_id, amount from events where user_id = 7 and amount < 500",
+        )
+        assert all(r[0] == 7 and r[1] < 500 for r in rows)
+
+    def test_empty_result(self, small_store):
+        assert _run(small_store, "select * from users where user_id = 99999") == []
+
+
+class TestProjection:
+    def test_column_order(self, small_store):
+        rows = _run(small_store, "select score, user_id from users where user_id = 5")
+        # score first, then user_id, per the SELECT list.
+        assert rows[0][1] == 5
+
+    def test_star_deterministic_order(self, small_store):
+        a = _run(small_store, "select * from users where user_id = 5")
+        b = _run(small_store, "select * from users where user_id = 5")
+        assert a == b
+
+
+class TestSortLimit:
+    def test_order_by_asc(self, small_store):
+        rows = _run(small_store, "select user_id from users order by user_id")
+        assert [r[0] for r in rows] == sorted(r[0] for r in rows)
+
+    def test_order_by_desc(self, small_store):
+        rows = _run(small_store, "select user_id from users order by user_id desc")
+        values = [r[0] for r in rows]
+        assert values == sorted(values, reverse=True)
+
+    def test_multi_key_sort(self, small_store):
+        rows = _run(small_store, "select score, user_id from users order by score desc, user_id asc")
+        for a, b in zip(rows, rows[1:]):
+            assert a[0] > b[0] or (a[0] == b[0] and a[1] <= b[1])
+
+    def test_limit(self, small_store):
+        rows = _run(small_store, "select user_id from users order by user_id limit 3")
+        assert [r[0] for r in rows] == [1, 2, 3]
+
+    def test_limit_larger_than_result(self, small_store):
+        rows = _run(small_store, "select user_id from users where user_id = 1 limit 50")
+        assert len(rows) == 1
+
+
+class TestAggregation:
+    def test_count_star(self, small_store):
+        rows = _run(small_store, "select count(*) from users")
+        assert rows == [(500,)]
+
+    def test_count_star_empty_input(self, small_store):
+        rows = _run(small_store, "select count(*) from users where user_id = 99999")
+        assert rows == [(0,)]
+
+    def test_sum_avg_consistency(self, small_store):
+        total = _run(small_store, "select sum(score) from users")[0][0]
+        avg = _run(small_store, "select avg(score) from users")[0][0]
+        assert avg == pytest.approx(total / 500)
+
+    def test_min_max(self, small_store):
+        lo = _run(small_store, "select min(user_id) from users")[0][0]
+        hi = _run(small_store, "select max(user_id) from users")[0][0]
+        assert (lo, hi) == (1, 500)
+
+    def test_group_by(self, small_store):
+        rows = _run(small_store, "select kind, count(*) from events group by kind")
+        assert sum(r[1] for r in rows) == 5000
+        assert len(rows) == 4
+
+    def test_group_by_with_filter(self, small_store):
+        rows = _run(
+            small_store,
+            "select kind, count(*) from events where user_id = 3 group by kind",
+        )
+        direct = _run(small_store, "select kind from events where user_id = 3")
+        assert sum(r[1] for r in rows) == len(direct)
+
+    def test_group_order_limit(self, small_store):
+        rows = _run(
+            small_store,
+            "select kind, count(*) from events group by kind order by kind limit 2",
+        )
+        assert len(rows) == 2
+        assert rows[0][0] < rows[1][0]
+
+
+class TestJoins:
+    def test_hash_join_matches_manual(self, small_store):
+        rows = _run(
+            small_store,
+            "select events.user_id, users.score from events, users "
+            "where events.user_id = users.user_id and events.user_id = 17",
+        )
+        events = _run(small_store, "select user_id from events where user_id = 17")
+        assert len(rows) == len(events)
+        scores = _run(small_store, "select score from users where user_id = 17")
+        assert all(r[1] == scores[0][0] for r in rows)
+
+    def test_join_aggregate(self, small_store):
+        rows = _run(
+            small_store,
+            "select count(*) from events, users "
+            "where events.user_id = users.user_id",
+        )
+        # Every event's user_id is within 1..500, all present in users.
+        assert rows == [(5000,)]

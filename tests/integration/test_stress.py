@@ -1,0 +1,77 @@
+"""Long-run stress test: everything at once, invariants throughout.
+
+One tuner, one long adversarial stream: shifting read phases, noise
+bursts, insert batches, composite candidates enabled, a mid-run
+snapshot/restore, and an adaptive forecast window.  After every epoch
+the global invariants must hold.  This is the closest the suite gets to
+"leave it running in production for a while".
+"""
+
+import random
+
+import pytest
+
+from repro.core import ColtConfig, ColtTuner
+from repro.persist import restore_tuner, snapshot_tuner
+from repro.workload.datagen import build_catalog
+from repro.workload.experiments import (
+    noise_distributions,
+    phase_distributions,
+)
+
+BUDGET = 9_000.0
+EPOCHS_TO_RUN = 60  # 600 queries
+
+
+@pytest.mark.slow
+def test_long_adversarial_run():
+    catalog = build_catalog()
+    config = ColtConfig(
+        storage_budget_pages=BUDGET,
+        composite_candidates=True,
+        adaptive_forecast_window=True,
+        min_history_epochs=2,
+        seed=11,
+    )
+    tuner = ColtTuner(catalog, config)
+    rng = random.Random(11)
+    phases = phase_distributions()
+    q1, q2 = noise_distributions()
+    pools = phases + [q1, q2]
+
+    def check_invariants():
+        assert catalog.materialized_size_pages() <= BUDGET + 1e-6
+        assert not set(tuner.hot_set) & set(tuner.materialized_set)
+        assert set(tuner.materialized_set) == set(catalog.materialized_indexes())
+
+    epoch_calls = 0
+    snapshotted = False
+    for i in range(EPOCHS_TO_RUN * config.epoch_length):
+        # Drift through distributions; occasionally burst-switch.
+        dist = pools[(i // 120) % len(pools)]
+        if i % 37 == 0:
+            dist = pools[rng.randrange(len(pools))]
+        outcome = tuner.process_query(dist.sample(catalog, rng))
+        epoch_calls += outcome.whatif_calls
+
+        if i % 25 == 0:
+            tuner.process_insert("partsupp_4", count=rng.randint(0, 300))
+
+        if outcome.epoch_ended:
+            assert epoch_calls <= config.max_whatif_per_epoch
+            epoch_calls = 0
+            check_invariants()
+
+        if i == 299 and not snapshotted:
+            # Mid-run restart: state must round-trip and keep running.
+            snapshotted = True
+            snapshot = snapshot_tuner(tuner)
+            fresh = build_catalog()
+            tuner = restore_tuner(fresh, snapshot)
+            catalog = fresh
+            epoch_calls = 0
+            check_invariants()
+
+    # The run must have actually tuned something along the way.
+    assert tuner.whatif.call_count > 0
+    assert tuner.scheduler.builds or tuner.materialized_set

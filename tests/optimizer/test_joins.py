@@ -1,0 +1,91 @@
+"""Unit tests for join enumeration."""
+
+import pytest
+
+from repro.optimizer.joins import JoinPlanner, uses_parameterized_inner, _subsets_of_size
+from repro.optimizer.optimizer import Optimizer
+from repro.optimizer.plan import HashJoinNode, NestedLoopNode
+from repro.sql.binder import bind_query
+from repro.sql.parser import parse_query
+
+
+def _plan(small_catalog, sql, config=frozenset()):
+    q = bind_query(parse_query(sql), small_catalog)
+    optimizer = Optimizer(small_catalog)
+    return optimizer.optimize(q, config=config).plan, q
+
+
+class TestSubsetEnumeration:
+    def test_counts(self):
+        import math
+
+        for n in range(1, 6):
+            for k in range(1, n + 1):
+                subsets = list(_subsets_of_size(n, k))
+                assert len(subsets) == math.comb(n, k)
+                assert all(bin(s).count("1") == k for s in subsets)
+
+
+class TestJoinChoice:
+    def test_hash_join_default(self, small_catalog):
+        plan, _ = _plan(
+            small_catalog,
+            "select * from events, users where events.user_id = users.user_id",
+        )
+        joins = [n for n in _walk(plan) if isinstance(n, HashJoinNode)]
+        assert joins, "expected a hash join"
+        # Build side should be the smaller relation (users).
+        assert joins[0].build.tables() == {"users"}
+
+    def test_inlj_with_selective_outer(self, small_catalog):
+        # amount is effectively unique: the outer side yields ~1 row, so
+        # one index lookup into users beats building a hash table.
+        config = frozenset(
+            [
+                small_catalog.index_for("users", "user_id"),
+                small_catalog.index_for("events", "amount"),
+            ]
+        )
+        plan, _ = _plan(
+            small_catalog,
+            "select * from events, users "
+            "where events.user_id = users.user_id and events.amount = 3.5",
+            config,
+        )
+        assert uses_parameterized_inner(plan)
+
+    def test_join_cardinality(self, small_catalog):
+        plan, _ = _plan(
+            small_catalog,
+            "select * from events, users where events.user_id = users.user_id",
+        )
+        # 1M x 10k / 10k distinct = ~1M rows.
+        root = next(n for n in _walk(plan) if isinstance(n, (HashJoinNode, NestedLoopNode)))
+        assert root.rows == pytest.approx(1_000_000, rel=0.1)
+
+    def test_single_table_no_join_node(self, small_catalog):
+        plan, _ = _plan(small_catalog, "select * from events where user_id = 1")
+        assert not [n for n in _walk(plan) if isinstance(n, (HashJoinNode, NestedLoopNode))]
+
+    def test_disconnected_cartesian_fallback(self, small_catalog):
+        plan, _ = _plan(small_catalog, "select * from events, users")
+        nl = [n for n in _walk(plan) if isinstance(n, NestedLoopNode)]
+        assert nl, "cartesian product should use a nested loop"
+        assert nl[0].rows == pytest.approx(1_000_000 * 10_000, rel=0.01)
+
+
+class TestPlannerDirect:
+    def test_planner_requires_tables(self, small_catalog):
+        from repro.sql.ast import Query
+
+        planner = JoinPlanner(small_catalog, Query(tables=[]), frozenset())
+        with pytest.raises(ValueError):
+            planner.plan({})
+
+
+def _walk(plan):
+    stack = [plan]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(node.children())

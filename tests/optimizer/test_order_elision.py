@@ -1,0 +1,107 @@
+"""Tests for ORDER BY elision via index-provided order."""
+
+import pytest
+
+from repro.executor import execute
+from repro.optimizer.optimizer import Optimizer, PlanCache
+from repro.optimizer.plan import IndexScanNode, SortNode
+from repro.sql.binder import bind_query
+from repro.sql.parser import parse_query
+
+
+def _plan(catalog, sql, config):
+    q = bind_query(parse_query(sql), catalog)
+    return Optimizer(catalog).optimize(q, config=config, cache=PlanCache()).plan
+
+
+def _has(plan, node_type):
+    stack = [plan]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, node_type):
+            return True
+        stack.extend(node.children())
+    return False
+
+
+class TestElision:
+    def test_sort_elided_for_matching_index_scan(self, small_catalog):
+        index = small_catalog.index_for("events", "day")
+        plan = _plan(
+            small_catalog,
+            "select day from events where day between 8000 and 8019 order by day",
+            frozenset([index]),
+        )
+        assert _has(plan, IndexScanNode)
+        assert not _has(plan, SortNode)
+
+    def test_sort_kept_without_index(self, small_catalog):
+        plan = _plan(
+            small_catalog,
+            "select day from events where day between 8000 and 8019 order by day",
+            frozenset(),
+        )
+        assert _has(plan, SortNode)
+
+    def test_sort_kept_for_descending(self, small_catalog):
+        index = small_catalog.index_for("events", "day")
+        plan = _plan(
+            small_catalog,
+            "select day from events where day between 8000 and 8019 order by day desc",
+            frozenset([index]),
+        )
+        if _has(plan, IndexScanNode):
+            assert _has(plan, SortNode)
+
+    def test_sort_kept_for_other_column(self, small_catalog):
+        index = small_catalog.index_for("events", "day")
+        plan = _plan(
+            small_catalog,
+            "select day, amount from events where day between 8000 and 8019 "
+            "order by amount",
+            frozenset([index]),
+        )
+        assert _has(plan, SortNode)
+
+    def test_sort_kept_for_multi_key(self, small_catalog):
+        index = small_catalog.index_for("events", "day")
+        plan = _plan(
+            small_catalog,
+            "select day, amount from events where day between 8000 and 8019 "
+            "order by day, amount",
+            frozenset([index]),
+        )
+        assert _has(plan, SortNode)
+
+    def test_elision_lowers_cost(self, small_catalog):
+        index = small_catalog.index_for("events", "day")
+        catalog = small_catalog
+        with_order = _plan(
+            catalog,
+            "select day from events where day between 8000 and 8019 order by day",
+            frozenset([index]),
+        )
+        without_order = _plan(
+            catalog,
+            "select day from events where day between 8000 and 8019",
+            frozenset([index]),
+        )
+        # The ORDER BY comes for free when the index provides it.
+        assert with_order.cost == pytest.approx(without_order.cost)
+
+
+class TestElidedExecutionOrder:
+    def test_results_actually_sorted(self, small_store):
+        catalog = small_store.catalog
+        index = catalog.index_for("events", "day")
+        small_store.build_index(index)
+        plan = _plan(
+            catalog,
+            "select day from events where day between 8100 and 8400 order by day",
+            frozenset([index]),
+        )
+        assert not _has(plan, SortNode)
+        rows = execute(plan, small_store)
+        values = [r[0] for r in rows]
+        assert values == sorted(values)
+        assert values, "range should match rows in the fixture data"

@@ -1,0 +1,89 @@
+"""Unit tests for plan-tree utilities."""
+
+import pytest
+
+from repro.engine.datatypes import DataType
+from repro.engine.index import IndexDef
+from repro.optimizer.plan import (
+    HashJoinNode,
+    IndexScanNode,
+    NestedLoopNode,
+    PlanNode,
+    ProjectNode,
+    SeqScanNode,
+    explain,
+    plan_signature,
+)
+
+
+def _seq(table):
+    return SeqScanNode(rows=10.0, cost=5.0, table=table, filters=[])
+
+
+def _ix(table, column, **kwargs):
+    return IndexScanNode(
+        rows=2.0,
+        cost=1.0,
+        table=table,
+        index=IndexDef(table, column, DataType.INT),
+        **kwargs,
+    )
+
+
+class TestTraversals:
+    def test_tables_collects_all_scans(self):
+        join = HashJoinNode(
+            rows=1.0, cost=1.0, probe=_seq("a"), build=_ix("b", "x"), joins=[]
+        )
+        assert join.tables() == {"a", "b"}
+
+    def test_indexes_used_deep(self):
+        inner = NestedLoopNode(
+            rows=1.0, cost=1.0, outer=_ix("a", "x"), inner=_ix("b", "y"), joins=[]
+        )
+        top = ProjectNode(rows=1.0, cost=1.0, child=inner, output=[])
+        names = {ix.name for ix in top.indexes_used()}
+        assert names == {"ix_a_x", "ix_b_y"}
+
+    def test_composite_index_in_used_set(self):
+        composite = IndexDef(
+            "a", "x", DataType.INT, extra_columns=(("y", DataType.INT),)
+        )
+        node = IndexScanNode(rows=1.0, cost=1.0, table="a", index=composite)
+        assert composite in node.indexes_used()
+
+    def test_base_node_has_no_children(self):
+        assert PlanNode(rows=1.0, cost=1.0).children() == []
+
+
+class TestLabels:
+    def test_index_scan_labels_by_kind(self):
+        assert "eq" in _ix("a", "x", lookup_value=5).label()
+        assert "in" in _ix("a", "x", in_values=(1, 2)).label()
+        assert "range" in _ix("a", "x", range_low=1).label()
+        from repro.sql.ast import ColumnExpr
+
+        assert "param" in _ix("a", "x", parameterized_by=ColumnExpr("k", "b")).label()
+
+    def test_seq_scan_label(self):
+        assert _seq("users").label() == "SeqScan(users)"
+
+
+class TestSignatures:
+    def test_signature_distinguishes_structures(self):
+        a = HashJoinNode(rows=1, cost=1, probe=_seq("a"), build=_seq("b"), joins=[])
+        b = HashJoinNode(rows=1, cost=1, probe=_seq("b"), build=_seq("a"), joins=[])
+        assert plan_signature(a) != plan_signature(b) or str(a) == str(b)
+
+    def test_signature_hashable(self):
+        node = ProjectNode(rows=1, cost=1, child=_seq("a"), output=[])
+        assert {plan_signature(node)}  # usable as a set element
+
+    def test_explain_indents_children(self):
+        join = HashJoinNode(
+            rows=1.0, cost=1.0, probe=_seq("a"), build=_seq("b"), joins=[]
+        )
+        text = explain(join)
+        lines = text.splitlines()
+        assert lines[0].startswith("HashJoin")
+        assert lines[1].startswith("  ")

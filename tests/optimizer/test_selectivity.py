@@ -1,0 +1,105 @@
+"""Unit tests for selectivity estimation."""
+
+import pytest
+
+from repro.optimizer.selectivity import (
+    combined_selectivity,
+    join_selectivity,
+    operator_count,
+    predicate_selectivity,
+)
+from repro.sql.ast import (
+    BetweenPredicate,
+    ColumnExpr,
+    CompareOp,
+    ComparisonPredicate,
+    InPredicate,
+    JoinPredicate,
+)
+
+
+def _col(column="user_id", table="events"):
+    return ColumnExpr(column, table)
+
+
+class TestComparisons:
+    def test_eq(self, small_catalog):
+        pred = ComparisonPredicate(_col(), CompareOp.EQ, 500)
+        assert predicate_selectivity(small_catalog, pred) == pytest.approx(1e-4)
+
+    def test_ne_near_one(self, small_catalog):
+        pred = ComparisonPredicate(_col(), CompareOp.NE, 500)
+        sel = predicate_selectivity(small_catalog, pred)
+        assert 0.99 < sel < 1.0
+
+    def test_lt_half_domain(self, small_catalog):
+        pred = ComparisonPredicate(_col(), CompareOp.LT, 5000)
+        assert predicate_selectivity(small_catalog, pred) == pytest.approx(0.5, abs=0.01)
+
+    def test_gt_complementish(self, small_catalog):
+        lt = predicate_selectivity(
+            small_catalog, ComparisonPredicate(_col(), CompareOp.LE, 5000)
+        )
+        gt = predicate_selectivity(
+            small_catalog, ComparisonPredicate(_col(), CompareOp.GT, 5000)
+        )
+        assert lt + gt == pytest.approx(1.0, abs=0.01)
+
+    def test_out_of_range(self, small_catalog):
+        pred = ComparisonPredicate(_col(), CompareOp.GT, 10_001)
+        assert predicate_selectivity(small_catalog, pred) < 0.01
+
+
+class TestOtherPredicates:
+    def test_between(self, small_catalog):
+        pred = BetweenPredicate(_col(), 1, 1000)
+        assert predicate_selectivity(small_catalog, pred) == pytest.approx(0.1, abs=0.01)
+
+    def test_between_empty(self, small_catalog):
+        pred = BetweenPredicate(_col(), 100, 50)
+        assert predicate_selectivity(small_catalog, pred) <= 1e-6
+
+    def test_in_scales_with_list(self, small_catalog):
+        one = predicate_selectivity(small_catalog, InPredicate(_col(), (1,)))
+        three = predicate_selectivity(small_catalog, InPredicate(_col(), (1, 2, 3)))
+        assert three == pytest.approx(3 * one)
+
+    def test_in_dedups(self, small_catalog):
+        pred = InPredicate(_col(), (1, 1, 1))
+        assert predicate_selectivity(small_catalog, pred) == pytest.approx(1e-4)
+
+    def test_unsupported_type(self, small_catalog):
+        with pytest.raises(TypeError):
+            predicate_selectivity(small_catalog, object())
+
+
+class TestCombined:
+    def test_independence(self, small_catalog):
+        preds = [
+            ComparisonPredicate(_col(), CompareOp.LT, 5000),
+            BetweenPredicate(_col("amount"), 0.0, 100.0),
+        ]
+        combined = combined_selectivity(small_catalog, preds)
+        product = predicate_selectivity(small_catalog, preds[0]) * (
+            predicate_selectivity(small_catalog, preds[1])
+        )
+        assert combined == pytest.approx(product)
+
+    def test_empty_is_one(self, small_catalog):
+        assert combined_selectivity(small_catalog, []) == 1.0
+
+
+class TestJoin:
+    def test_join_selectivity(self, small_catalog):
+        join = JoinPredicate(_col("user_id", "events"), _col("user_id", "users"))
+        assert join_selectivity(small_catalog, join) == pytest.approx(1e-4)
+
+
+class TestOperatorCount:
+    def test_counts(self):
+        preds = [
+            ComparisonPredicate(_col(), CompareOp.EQ, 1),
+            BetweenPredicate(_col(), 1, 2),
+            InPredicate(_col(), (1, 2, 3)),
+        ]
+        assert operator_count(preds) == 1 + 2 + 3

@@ -1,0 +1,105 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _ascii_bars, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fig6_burst_parsing(self):
+        args = build_parser().parse_args(["fig6", "--bursts", "20,40"])
+        assert args.bursts == "20,40"
+
+    def test_explain_index_repeatable(self):
+        args = build_parser().parse_args(
+            ["explain", "select 1", "--index", "a.b", "--index", "c.d"]
+        )
+        assert args.index == ["a.b", "c.d"]
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "6,928,120" in out
+        assert "244" in out
+
+    def test_fig3(self, capsys):
+        assert main(["fig3", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "COLT" in out and "OFFLINE" in out
+        assert "deviation after query 100" in out
+
+    def test_fig6_custom_bursts(self, capsys):
+        assert main(["fig6", "--bursts", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "burst" in out
+
+    def test_explain_seq_scan(self, capsys):
+        sql = "select l_orderkey from lineitem_1 where l_shipdate = '1994-01-01'"
+        assert main(["explain", sql]) == 0
+        out = capsys.readouterr().out
+        assert "SeqScan(lineitem_1)" in out
+
+    def test_explain_with_hypothetical_index(self, capsys):
+        sql = "select l_orderkey from lineitem_1 where l_shipdate = '1994-01-01'"
+        assert main(["explain", sql, "--index", "lineitem_1.l_shipdate"]) == 0
+        out = capsys.readouterr().out
+        assert "IndexScan(ix_lineitem_1_l_shipdate" in out
+        assert "used indexes" in out
+
+    def test_explain_bad_sql_is_an_error(self, capsys):
+        assert main(["explain", "selectt nope"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_explain_bad_index_spec(self, capsys):
+        sql = "select l_orderkey from lineitem_1"
+        assert main(["explain", sql, "--index", "bogus"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_explain_unknown_table_in_index(self, capsys):
+        sql = "select l_orderkey from lineitem_1"
+        assert main(["explain", sql, "--index", "zzz.yyy"]) == 1
+
+
+class TestMoreCommands:
+    def test_fig5(self, capsys):
+        # The full fig5 run is fast enough for the test suite.
+        assert main(["fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "what-if calls per epoch" in out
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "final configuration" in out
+
+
+class TestTimeline:
+    def test_stable_timeline(self, capsys):
+        assert main(["timeline", "--workload", "stable", "--queries", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "exec cost" in out
+        assert "what-if calls" in out
+
+    def test_timeline_workload_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["timeline", "--workload", "bogus"])
+
+
+class TestAsciiBars:
+    def test_empty(self):
+        assert "no data" in _ascii_bars("x", [])
+
+    def test_monotone_heights(self):
+        line = _ascii_bars("x", [1.0, 2.0, 4.0, 8.0])
+        # Higher values render as taller (later-in-alphabet) blocks.
+        bars = line.split()[1]
+        assert bars[0] <= bars[-1]
+
+    def test_peak_annotated(self):
+        assert "8" in _ascii_bars("x", [8.0])

@@ -1,0 +1,309 @@
+"""Tests for the multi-column (composite) index extension.
+
+The paper defers multi-column indexes to future work (§2); this
+reproduction implements them end to end: descriptors, sargability along
+the key prefix, cost model, physical B+trees over tuple keys, execution,
+and COLT candidate mining behind ``ColtConfig(composite_candidates=True)``.
+"""
+
+import random
+
+import pytest
+
+from repro.core import ColtConfig, ColtTuner
+from repro.engine.datatypes import DataType
+from repro.executor import execute
+from repro.optimizer.access import extract_for_index
+from repro.optimizer.optimizer import Optimizer, PlanCache
+from repro.optimizer.plan import IndexScanNode
+from repro.sql.ast import (
+    BetweenPredicate,
+    ColumnExpr,
+    CompareOp,
+    ComparisonPredicate,
+    InPredicate,
+    Query,
+    SelectItem,
+)
+from repro.sql.binder import bind_query
+from repro.sql.parser import parse_query
+
+
+def _col(column, table="events"):
+    return ColumnExpr(column, table)
+
+
+def _eq(column, value, table="events"):
+    return ComparisonPredicate(_col(column, table), CompareOp.EQ, value)
+
+
+class TestDescriptor:
+    def test_composite_identity(self, small_catalog):
+        ab = small_catalog.composite_index_for("events", ["user_id", "day"])
+        ba = small_catalog.composite_index_for("events", ["day", "user_id"])
+        a = small_catalog.index_for("events", "user_id")
+        assert ab != ba  # column order matters
+        assert ab != a  # composite is not the single-column index
+        assert ab.is_composite and not a.is_composite
+        assert ab.columns == ("user_id", "day")
+        assert ab.name == "ix_events_user_id_day"
+
+    def test_key_width_sums(self, small_catalog):
+        ab = small_catalog.composite_index_for("events", ["user_id", "day"])
+        assert ab.key_width == DataType.INT.width + DataType.DATE.width
+
+    def test_composite_bigger_than_single(self, small_catalog):
+        ab = small_catalog.composite_index_for("events", ["user_id", "day"])
+        a = small_catalog.index_for("events", "user_id")
+        assert small_catalog.index_size_pages(ab) > small_catalog.index_size_pages(a)
+        assert small_catalog.index_build_cost(ab) > small_catalog.index_build_cost(a)
+
+    def test_validation(self, small_catalog):
+        with pytest.raises(ValueError):
+            small_catalog.composite_index_for("events", [])
+        with pytest.raises(ValueError):
+            small_catalog.composite_index_for("events", ["user_id", "user_id"])
+        with pytest.raises(KeyError):
+            small_catalog.composite_index_for("events", ["user_id", "zzz"])
+
+    def test_materialization_no_collision_with_single(self, small_catalog):
+        ab = small_catalog.composite_index_for("events", ["user_id", "day"])
+        a = small_catalog.index_for("events", "user_id")
+        small_catalog.materialize_index(ab)
+        assert small_catalog.is_materialized(ab)
+        assert not small_catalog.is_materialized(a)
+
+
+class TestSargability:
+    def test_full_prefix_equality(self, small_catalog):
+        index = small_catalog.composite_index_for("events", ["user_id", "day"])
+        sarg = extract_for_index(index, [_eq("user_id", 5), _eq("day", 8000)])
+        assert sarg.prefix_values == (5,)
+        assert sarg.lookup_value == 8000
+        assert len(sarg.consumed) == 2
+
+    def test_prefix_eq_plus_range(self, small_catalog):
+        index = small_catalog.composite_index_for("events", ["user_id", "day"])
+        preds = [
+            _eq("user_id", 5),
+            BetweenPredicate(_col("day"), 8000, 8100),
+        ]
+        sarg = extract_for_index(index, preds)
+        assert sarg.prefix_values == (5,)
+        assert (sarg.range_low, sarg.range_high) == (8000, 8100)
+
+    def test_leading_range_stops_descent(self, small_catalog):
+        index = small_catalog.composite_index_for("events", ["user_id", "day"])
+        preds = [
+            BetweenPredicate(_col("user_id"), 1, 10),
+            _eq("day", 8000),
+        ]
+        sarg = extract_for_index(index, preds)
+        assert sarg.prefix_values == ()
+        assert (sarg.range_low, sarg.range_high) == (1, 10)
+        # The day predicate stays residual.
+        assert len(sarg.consumed) == 1
+
+    def test_no_leading_predicate_is_unusable(self, small_catalog):
+        index = small_catalog.composite_index_for("events", ["user_id", "day"])
+        assert extract_for_index(index, [_eq("day", 8000)]) is None
+
+    def test_in_on_last_column(self, small_catalog):
+        index = small_catalog.composite_index_for("events", ["user_id", "day"])
+        preds = [_eq("user_id", 5), InPredicate(_col("day"), (8000, 8001))]
+        sarg = extract_for_index(index, preds)
+        assert sarg.prefix_values == (5,)
+        assert sarg.in_values == (8000, 8001)
+        assert sarg.num_lookups == 2
+
+
+class TestOptimizerChoice:
+    def test_composite_beats_single_on_conjunction(self, small_catalog):
+        """With eq predicates on two columns, the composite absorbs both
+        and costs less than either single-column index."""
+        q = bind_query(
+            parse_query(
+                "select amount from events where user_id = 5 and day = 8000"
+            ),
+            small_catalog,
+        )
+        optimizer = Optimizer(small_catalog)
+        single = frozenset([small_catalog.index_for("events", "user_id")])
+        composite = frozenset(
+            [small_catalog.composite_index_for("events", ["user_id", "day"])]
+        )
+        c_single = optimizer.optimize(q, config=single, cache=PlanCache()).cost
+        c_comp = optimizer.optimize(q, config=composite, cache=PlanCache()).cost
+        assert c_comp < c_single
+
+    def test_relevant_config_includes_composites(self, small_catalog):
+        q = bind_query(
+            parse_query(
+                "select amount from events where user_id = 5 and day = 8000"
+            ),
+            small_catalog,
+        )
+        index = small_catalog.composite_index_for("events", ["user_id", "day"])
+        result = Optimizer(small_catalog).optimize(q, config=frozenset([index]))
+        assert index in result.plan.indexes_used()
+
+
+class TestExecution:
+    def _expected(self, store, sql):
+        q = bind_query(parse_query(sql), store.catalog)
+        plan = Optimizer(store.catalog).optimize(q, config=frozenset()).plan
+        return sorted(execute(plan, store))
+
+    def _with_composite(self, store, sql, columns):
+        index = store.catalog.composite_index_for("events", columns)
+        store.build_index(index)
+        q = bind_query(parse_query(sql), store.catalog)
+        plan = Optimizer(store.catalog).optimize(
+            q, config=frozenset([index]), cache=PlanCache()
+        ).plan
+        used = any(
+            isinstance(n, IndexScanNode) and n.index == index
+            for n in _walk(plan)
+        )
+        return sorted(execute(plan, store)), used
+
+    def test_full_key_lookup(self, small_store):
+        sql = "select amount from events where user_id = 17 and day = 8010"
+        expected = self._expected(small_store, sql)
+        got, used = self._with_composite(small_store, sql, ["user_id", "day"])
+        assert used
+        assert got == expected
+
+    def test_prefix_plus_range(self, small_store):
+        sql = (
+            "select amount from events "
+            "where user_id = 17 and day between 8000 and 9000"
+        )
+        expected = self._expected(small_store, sql)
+        got, used = self._with_composite(small_store, sql, ["user_id", "day"])
+        assert used
+        assert got == expected
+
+    def test_prefix_only_scan(self, small_store):
+        sql = "select day from events where user_id = 17"
+        expected = self._expected(small_store, sql)
+        got, used = self._with_composite(small_store, sql, ["user_id", "day"])
+        assert used
+        assert got == expected
+
+    def test_prefix_plus_in(self, small_store):
+        sql = (
+            "select amount from events "
+            "where user_id = 17 and day in (8000, 8500, 9000)"
+        )
+        expected = self._expected(small_store, sql)
+        got, _ = self._with_composite(small_store, sql, ["user_id", "day"])
+        assert got == expected
+
+    def test_residual_still_applied(self, small_store):
+        sql = (
+            "select amount from events "
+            "where user_id = 17 and day = 8010 and amount > 100"
+        )
+        expected = self._expected(small_store, sql)
+        got, _ = self._with_composite(small_store, sql, ["user_id", "day"])
+        assert got == expected
+
+
+class TestColtComposite:
+    def _conjunctive_query(self, rng):
+        return Query(
+            tables=["events"],
+            select=[SelectItem(expr=ColumnExpr("amount", "events"))],
+            filters=[
+                _eq("user_id", rng.randint(1, 10_000)),
+                BetweenPredicate(_col("day"), 8000, 8000 + rng.randint(10, 50)),
+            ],
+        )
+
+    def test_mining_includes_composites(self, small_catalog):
+        config = ColtConfig(storage_budget_pages=9000.0, composite_candidates=True)
+        tuner = ColtTuner(small_catalog, config)
+        rng = random.Random(0)
+        tuner.process_query(self._conjunctive_query(rng))
+        mined = {ix.name for ix in tuner.profiler.candidates.candidates()}
+        assert "ix_events_user_id" in mined
+        assert "ix_events_day" in mined
+        assert "ix_events_user_id_day" in mined
+
+    def test_disabled_by_default(self, small_catalog):
+        tuner = ColtTuner(small_catalog, ColtConfig(storage_budget_pages=9000.0))
+        rng = random.Random(0)
+        tuner.process_query(self._conjunctive_query(rng))
+        mined = {ix.name for ix in tuner.profiler.candidates.candidates()}
+        assert "ix_events_user_id_day" not in mined
+
+    def test_full_loop_with_composites(self, small_catalog):
+        """COLT with composite candidates completes a run and tunes."""
+        config = ColtConfig(
+            storage_budget_pages=9000.0,
+            composite_candidates=True,
+            min_history_epochs=2,
+        )
+        tuner = ColtTuner(small_catalog, config)
+        rng = random.Random(1)
+        for _ in range(150):
+            tuner.process_query(self._conjunctive_query(rng))
+        assert tuner.materialized_set
+        assert small_catalog.materialized_size_pages() <= 9000.0
+
+    def test_physical_store_builds_composite_trees(self, small_store):
+        """Composite materializations through the scheduler produce real
+        tuple-key trees the executor can use, and results stay correct."""
+        from repro.executor import execute
+        from repro.optimizer.optimizer import Optimizer, PlanCache
+
+        catalog = small_store.catalog
+        config = ColtConfig(
+            storage_budget_pages=9000.0,
+            composite_candidates=True,
+            min_history_epochs=2,
+        )
+        tuner = ColtTuner(catalog, config, store=small_store)
+        rng = random.Random(2)
+
+        def query():
+            return Query(
+                tables=["events"],
+                select=[SelectItem(expr=ColumnExpr("amount", "events"))],
+                filters=[
+                    _eq("user_id", rng.randint(1, 500)),
+                    BetweenPredicate(
+                        ColumnExpr("day", "events"), 8000, 8000 + rng.randint(50, 400)
+                    ),
+                ],
+            )
+
+        probe = query()
+        reference = sorted(
+            execute(
+                Optimizer(catalog).optimize(probe, config=frozenset()).plan,
+                small_store,
+            )
+        )
+        for _ in range(150):
+            tuner.process_query(query())
+        for index in tuner.materialized_set:
+            tree = small_store.tree(index)
+            assert tree is not None
+            assert len(tree) == len(small_store.heap(index.table))
+        after = sorted(
+            execute(
+                Optimizer(catalog).optimize(probe, cache=PlanCache()).plan,
+                small_store,
+            )
+        )
+        assert after == reference
+
+
+def _walk(plan):
+    stack = [plan]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(node.children())

@@ -1,0 +1,188 @@
+"""Tests for tuner state persistence."""
+
+import random
+
+import pytest
+
+from repro.core import ColtConfig, ColtTuner
+from repro.persist import (
+    SnapshotError,
+    load_json,
+    restore_tuner,
+    save_json,
+    snapshot_tuner,
+)
+from repro.sql.ast import (
+    ColumnExpr,
+    CompareOp,
+    ComparisonPredicate,
+    Query,
+    SelectItem,
+)
+
+
+def _eq_query(value):
+    return Query(
+        tables=["events"],
+        select=[SelectItem(expr=ColumnExpr("amount", "events"))],
+        filters=[
+            ComparisonPredicate(
+                ColumnExpr("user_id", "events"), CompareOp.EQ, value
+            )
+        ],
+    )
+
+
+def _trained_tuner(catalog, queries=80):
+    tuner = ColtTuner(
+        catalog,
+        ColtConfig(storage_budget_pages=5000.0, min_history_epochs=2),
+    )
+    rng = random.Random(0)
+    for _ in range(queries):
+        tuner.process_query(_eq_query(rng.randint(1, 10_000)))
+    return tuner
+
+
+class TestRoundtrip:
+    def test_snapshot_is_json_serializable(self, small_catalog, tmp_path):
+        tuner = _trained_tuner(small_catalog)
+        snapshot = snapshot_tuner(tuner)
+        path = tmp_path / "state.json"
+        save_json(path, snapshot)
+        assert load_json(path) == snapshot
+
+    def test_materialized_set_restored(self, small_catalog, tmp_path):
+        import copy
+
+        tuner = _trained_tuner(small_catalog)
+        assert tuner.materialized_set  # trained to have indexes
+        snapshot = snapshot_tuner(tuner)
+
+        fresh_catalog = copy.deepcopy(small_catalog)
+        for ix in fresh_catalog.materialized_indexes():
+            fresh_catalog.drop_index(ix)
+        restored = restore_tuner(fresh_catalog, snapshot)
+        assert restored.materialized_set == tuner.materialized_set
+        assert fresh_catalog.materialized_indexes()
+
+    def test_histories_restored(self, small_catalog):
+        import copy
+
+        tuner = _trained_tuner(small_catalog)
+        snapshot = snapshot_tuner(tuner)
+        restored = restore_tuner(copy.deepcopy(small_catalog), snapshot)
+        orig = tuner.self_organizer._history
+        back = restored.self_organizer._history
+        assert set(orig) == set(back)
+        for key in orig:
+            assert orig[key].values() == back[key].values()
+
+    def test_restored_tuner_keeps_tuning_without_rebuilds(self, small_catalog):
+        """After restore, a stable workload causes no immediate rebuild
+        churn: the learned state carries over."""
+        import copy
+
+        tuner = _trained_tuner(small_catalog)
+        snapshot = snapshot_tuner(tuner)
+        restored = restore_tuner(copy.deepcopy(small_catalog), snapshot)
+        rng = random.Random(1)
+        build_cost = sum(
+            restored.process_query(_eq_query(rng.randint(1, 10_000))).build_cost
+            for _ in range(40)
+        )
+        assert build_cost == 0.0
+        assert restored.materialized_set == tuner.materialized_set
+
+    def test_budget_restored(self, small_catalog):
+        import copy
+
+        tuner = _trained_tuner(small_catalog)
+        tuner.profiler.set_budget(7)
+        snapshot = snapshot_tuner(tuner)
+        restored = restore_tuner(copy.deepcopy(small_catalog), snapshot)
+        assert restored.profiler.whatif_budget == 7
+
+
+class TestCompositeRoundtrip:
+    def test_composite_indexes_survive_snapshot(self, small_catalog):
+        import copy
+
+        from repro.core import ColtConfig, ColtTuner
+        from repro.sql.ast import BetweenPredicate
+
+        config = ColtConfig(
+            storage_budget_pages=9000.0,
+            composite_candidates=True,
+            min_history_epochs=2,
+        )
+        tuner = ColtTuner(small_catalog, config)
+        rng = random.Random(5)
+        for _ in range(150):
+            q = Query(
+                tables=["events"],
+                select=[SelectItem(expr=ColumnExpr("amount", "events"))],
+                filters=[
+                    ComparisonPredicate(
+                        ColumnExpr("user_id", "events"),
+                        CompareOp.EQ,
+                        rng.randint(1, 10_000),
+                    ),
+                    BetweenPredicate(
+                        ColumnExpr("day", "events"), 8000, 8000 + rng.randint(10, 60)
+                    ),
+                ],
+            )
+            tuner.process_query(q)
+        if not any(ix.is_composite for ix in tuner.materialized_set):
+            pytest.skip("run did not materialize a composite this seed")
+        snapshot = snapshot_tuner(tuner)
+        restored = restore_tuner(copy.deepcopy(small_catalog), snapshot)
+        assert restored.materialized_set == tuner.materialized_set
+        assert any(ix.is_composite for ix in restored.materialized_set)
+
+
+class TestValidation:
+    def test_version_check(self, small_catalog):
+        with pytest.raises(SnapshotError):
+            restore_tuner(small_catalog, {"version": 99})
+
+    def test_unknown_table_rejected(self, small_catalog):
+        tuner = _trained_tuner(small_catalog)
+        snapshot = snapshot_tuner(tuner)
+        snapshot["materialized"].append(["no_such_table", "x"])
+        import copy
+
+        with pytest.raises(SnapshotError):
+            restore_tuner(copy.deepcopy(small_catalog), snapshot)
+
+    def test_unknown_column_rejected(self, small_catalog):
+        tuner = _trained_tuner(small_catalog)
+        snapshot = snapshot_tuner(tuner)
+        snapshot["hot"].append(["events", "no_such_column"])
+        import copy
+
+        with pytest.raises(SnapshotError):
+            restore_tuner(copy.deepcopy(small_catalog), snapshot)
+
+
+class TestPhysicalRestore:
+    def test_trees_rebuilt_through_store(self, small_store):
+        catalog = small_store.catalog
+        tuner = ColtTuner(
+            catalog,
+            ColtConfig(storage_budget_pages=5000.0, min_history_epochs=2),
+            store=small_store,
+        )
+        rng = random.Random(2)
+        for _ in range(80):
+            tuner.process_query(_eq_query(rng.randint(1, 500)))
+        if not tuner.materialized_set:
+            pytest.skip("tuner did not materialize on this data")
+        snapshot = snapshot_tuner(tuner)
+
+        for ix in list(catalog.materialized_indexes()):
+            small_store.drop_index(ix)
+        restored = restore_tuner(catalog, snapshot, store=small_store)
+        for index in restored.materialized_set:
+            assert small_store.tree(index) is not None

@@ -1,0 +1,143 @@
+"""Tests for the write-aware tuning extension.
+
+Inserts maintain physical indexes, grow catalog statistics, and charge a
+per-(row, index) maintenance cost; the Self-Organizer discounts the
+NetBenefit of indexes on write-hot tables so a heavily written table
+must earn its indexes twice over.
+"""
+
+import random
+
+import pytest
+
+from repro.core import ColtConfig, ColtTuner
+from repro.sql.ast import (
+    ColumnExpr,
+    CompareOp,
+    ComparisonPredicate,
+    Query,
+    SelectItem,
+)
+
+
+def _eq_query(value):
+    return Query(
+        tables=["events"],
+        select=[SelectItem(expr=ColumnExpr("amount", "events"))],
+        filters=[
+            ComparisonPredicate(
+                ColumnExpr("user_id", "events"), CompareOp.EQ, value
+            )
+        ],
+    )
+
+
+class TestPhysicalInserts:
+    def test_apply_inserts_maintains_trees(self, small_store):
+        catalog = small_store.catalog
+        single = catalog.index_for("events", "user_id")
+        composite = catalog.composite_index_for("events", ["user_id", "day"])
+        small_store.build_index(single)
+        small_store.build_index(composite)
+        before = len(small_store.heap("events"))
+
+        n = small_store.apply_inserts(
+            "events", [(9999, 1.5, 8000, "click"), (9999, 2.5, 8001, "view")]
+        )
+        assert n == 2
+        assert len(small_store.heap("events")) == before + 2
+        # Both trees see the new rows.
+        assert len(small_store.tree(single).search(9999)) == 2
+        assert small_store.tree(composite).search((9999, 8000))
+        # Catalog statistics grew.
+        assert catalog.table("events").row_count == before + 2
+
+    def test_inserted_rows_queryable_via_index(self, small_store):
+        from repro.executor import execute
+        from repro.optimizer.optimizer import Optimizer
+        from repro.sql.binder import bind_query
+        from repro.sql.parser import parse_query
+
+        catalog = small_store.catalog
+        index = catalog.index_for("events", "user_id")
+        small_store.build_index(index)
+        small_store.apply_inserts("events", [(8888, 3.0, 8100, "buy")])
+        q = bind_query(
+            parse_query("select amount from events where user_id = 8888"), catalog
+        )
+        plan = Optimizer(catalog).optimize(q).plan
+        assert execute(plan, small_store) == [(3.0,)]
+
+
+class TestInsertLedger:
+    def test_maintenance_charged_per_index(self, small_catalog):
+        tuner = ColtTuner(small_catalog, ColtConfig(storage_budget_pages=9000.0))
+        free = tuner.process_insert("events", count=100)
+        assert free.maintenance_cost == 0.0  # no indexes yet
+
+        small_catalog.materialize_index(small_catalog.index_for("events", "user_id"))
+        small_catalog.materialize_index(small_catalog.index_for("events", "day"))
+        tuner.self_organizer.materialized = set(small_catalog.materialized_indexes())
+        charged = tuner.process_insert("events", count=100)
+        params = small_catalog.params
+        assert charged.maintenance_cost == pytest.approx(
+            100 * 2 * params.index_maintain_cost_per_tuple
+        )
+        assert charged.total_cost == pytest.approx(
+            charged.heap_cost + charged.maintenance_cost
+        )
+
+    def test_requires_rows_or_count(self, small_catalog):
+        tuner = ColtTuner(small_catalog, ColtConfig(storage_budget_pages=9000.0))
+        with pytest.raises(ValueError):
+            tuner.process_insert("events")
+
+    def test_physical_mode_requires_rows(self, small_store):
+        tuner = ColtTuner(
+            small_store.catalog,
+            ColtConfig(storage_budget_pages=9000.0),
+            store=small_store,
+        )
+        with pytest.raises(ValueError):
+            tuner.process_insert("events", count=5)
+
+    def test_row_count_grows_in_cost_model_mode(self, small_catalog):
+        tuner = ColtTuner(small_catalog, ColtConfig(storage_budget_pages=9000.0))
+        before = small_catalog.table("events").row_count
+        tuner.process_insert("events", count=500)
+        assert small_catalog.table("events").row_count == before + 500
+
+
+class TestWriteAwareDecisions:
+    def test_write_rate_tracked(self, small_catalog):
+        tuner = ColtTuner(small_catalog, ColtConfig(storage_budget_pages=9000.0))
+        rng = random.Random(0)
+        for i in range(20):
+            tuner.process_query(_eq_query(rng.randint(1, 10_000)))
+            tuner.process_insert("events", count=50)
+        assert tuner.self_organizer.write_rate("events") > 0.0
+        assert tuner.self_organizer.write_rate("users") == 0.0
+
+    def test_heavy_writes_suppress_materialization(self, small_catalog):
+        """The same read workload materializes an index on a read-only
+        table but not when the table sustains heavy inserts."""
+        import copy
+
+        def run(inserts_per_query: int):
+            catalog = copy.deepcopy(small_catalog)
+            tuner = ColtTuner(
+                catalog,
+                ColtConfig(storage_budget_pages=9000.0, min_history_epochs=2),
+            )
+            rng = random.Random(3)
+            for _ in range(100):
+                tuner.process_query(_eq_query(rng.randint(1, 10_000)))
+                if inserts_per_query:
+                    tuner.process_insert("events", count=inserts_per_query)
+            return tuner.materialized_set
+
+        read_only = run(0)
+        assert read_only, "read-only run should materialize"
+        # Maintenance for 50k inserts/epoch dwarfs the query benefit.
+        write_heavy = run(5000)
+        assert not write_heavy

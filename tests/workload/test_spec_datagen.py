@@ -1,0 +1,114 @@
+"""Tests that generated physical data matches the declared statistics."""
+
+import random
+
+import pytest
+
+from repro.engine.datatypes import DataType
+from repro.workload.datagen import build_physical
+from repro.workload.spec import (
+    ColumnKind,
+    ColumnSpec,
+    TableSpec,
+    generate_rows,
+    scaled_rows,
+)
+
+
+class TestColumnSpecStats:
+    def test_pk_stats(self):
+        spec = ColumnSpec("id", DataType.INT, ColumnKind.PRIMARY_KEY)
+        stats = spec.stats(1000)
+        assert stats.n_distinct == 1000
+        assert (stats.min_value, stats.max_value) == (1, 1000)
+        assert stats.correlation == 1.0
+
+    def test_fk_stats_capped_by_parent(self):
+        spec = ColumnSpec(
+            "fk", DataType.INT, ColumnKind.FOREIGN_KEY, fk_parent_rows=50
+        )
+        assert spec.stats(1000).n_distinct == 50
+        assert spec.stats(10).n_distinct == 10
+
+    def test_uniform_int_domain(self):
+        spec = ColumnSpec("x", DataType.INT, ColumnKind.UNIFORM_INT, low=1, high=10)
+        assert spec.stats(1000).n_distinct == 10
+
+    def test_choice_stats(self):
+        spec = ColumnSpec(
+            "c", DataType.TEXT, ColumnKind.CHOICE, choices=("b", "a", "c")
+        )
+        stats = spec.stats(100)
+        assert stats.n_distinct == 3
+        assert stats.min_value == "a" and stats.max_value == "c"
+
+    def test_date_stats_are_ordinals(self):
+        spec = ColumnSpec(
+            "d", DataType.DATE, ColumnKind.DATE_RANGE,
+            low="1992-01-01", high="1992-12-31",
+        )
+        stats = spec.stats(10_000)
+        assert isinstance(stats.min_value, int)
+        assert stats.n_distinct == 366  # 1992 is a leap year
+
+
+class TestGeneratedDataMatchesSpec:
+    def _spec(self):
+        return TableSpec(
+            "t",
+            (
+                ColumnSpec("id", DataType.INT, ColumnKind.PRIMARY_KEY),
+                ColumnSpec("x", DataType.INT, ColumnKind.UNIFORM_INT, low=0, high=9),
+                ColumnSpec(
+                    "d", DataType.DATE, ColumnKind.DATE_RANGE,
+                    low="1992-01-01", high="1998-12-01",
+                ),
+                ColumnSpec("c", DataType.TEXT, ColumnKind.CHOICE, choices=("a", "b")),
+            ),
+            row_count=100_000,
+        )
+
+    def test_values_within_declared_bounds(self):
+        spec = self._spec()
+        rows = generate_rows(spec, 500, random.Random(3))
+        stats = {col.name: col.stats(spec.row_count) for col in spec.columns}
+        for row in rows:
+            for col, value in zip(spec.columns, row):
+                s = stats[col.name]
+                if col.kind is ColumnKind.PRIMARY_KEY:
+                    continue  # sample PKs occupy a prefix of the domain
+                assert s.min_value <= value <= s.max_value
+
+    def test_pk_values_dense(self):
+        spec = self._spec()
+        rows = generate_rows(spec, 100, random.Random(0))
+        assert [r[0] for r in rows] == list(range(1, 101))
+
+    def test_scaled_rows(self):
+        spec = self._spec()
+        assert scaled_rows(spec, 0.01) == 1000
+        assert scaled_rows(spec, 1e-9) == 5  # floor
+        assert scaled_rows(spec, 2.0) == spec.row_count  # cap
+
+
+class TestBuildPhysical:
+    def test_paper_scale_stats_over_sampled_data(self):
+        store = build_physical(instances=1, scale=0.001, seed=1)
+        table = store.catalog.table("lineitem_1")
+        assert table.row_count == 1_200_000  # declared
+        assert len(store.heap("lineitem_1")) == 1_200  # physical
+
+    def test_physical_stats_mode(self):
+        store = build_physical(instances=1, scale=0.001, paper_scale_stats=False)
+        table = store.catalog.table("lineitem_1")
+        assert table.row_count == 1_200
+
+    def test_deterministic_given_seed(self):
+        a = build_physical(instances=1, scale=0.0005, seed=7)
+        b = build_physical(instances=1, scale=0.0005, seed=7)
+        assert a.heap("orders_1").row(0) == b.heap("orders_1").row(0)
+
+    def test_every_table_has_rows(self):
+        store = build_physical(instances=1, scale=0.0005)
+        for table in store.catalog.tables():
+            assert len(store.heap(table.name)) >= 5

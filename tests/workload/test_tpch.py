@@ -1,0 +1,90 @@
+"""Tests that the synthetic schema reproduces Table 1 exactly."""
+
+import pytest
+
+from repro.workload.datagen import build_catalog
+from repro.workload.tpch import (
+    base_row_counts,
+    dataset_summary,
+    instance_table,
+    tpch_schema,
+)
+
+
+class TestTable1:
+    def test_number_of_tables(self):
+        assert dataset_summary().num_tables == 32
+
+    def test_total_tuples(self):
+        assert dataset_summary().total_tuples == 6_928_120
+
+    def test_largest_table(self):
+        assert dataset_summary().max_table_tuples == 1_200_000
+
+    def test_smallest_table(self):
+        assert dataset_summary().min_table_tuples == 5
+
+    def test_indexable_attributes(self):
+        assert dataset_summary().indexable_attributes == 244
+
+    def test_size_near_paper(self):
+        # Paper reports 1.4 GB; width-based accounting lands close.
+        size_gb = dataset_summary().size_bytes / 2**30
+        assert 0.8 <= size_gb <= 1.6
+
+    def test_single_instance_scales(self):
+        one = dataset_summary(instances=1)
+        assert one.num_tables == 8
+        assert one.total_tuples == 6_928_120 // 4
+        assert one.indexable_attributes == 61
+
+
+class TestSchema:
+    def test_instance_naming(self):
+        assert instance_table("lineitem", 3) == "lineitem_3"
+
+    def test_per_instance_tables(self):
+        names = {spec.name for spec in tpch_schema(2)}
+        assert "lineitem_1" in names and "lineitem_2" in names
+        assert "lineitem_3" not in names
+
+    def test_row_counts_match_tpch_ratios(self):
+        rows = base_row_counts()
+        assert rows["lineitem"] == 4 * rows["orders"]
+        assert rows["partsupp"] == 4 * rows["part"]
+        assert rows["region"] == 5
+
+    def test_61_columns_per_instance(self):
+        specs = tpch_schema(1)
+        assert sum(len(s.columns) for s in specs) == 61
+
+    def test_column_lookup(self):
+        spec = next(s for s in tpch_schema(1) if s.name == "lineitem_1")
+        assert spec.column("l_shipdate").name == "l_shipdate"
+        with pytest.raises(KeyError):
+            spec.column("nope")
+
+
+class TestBuiltCatalog:
+    def test_catalog_matches_summary(self):
+        catalog = build_catalog()
+        assert len(catalog.tables()) == 32
+        assert sum(t.row_count for t in catalog.tables()) == 6_928_120
+        assert len(catalog.indexable_columns()) == 244
+
+    def test_stats_installed_for_every_column(self):
+        catalog = build_catalog(instances=1)
+        for table in catalog.tables():
+            for col in table.columns:
+                stats = catalog.stats(table.name, col.name)
+                assert stats.n_distinct > 0
+
+    def test_date_columns_correlated(self):
+        catalog = build_catalog(instances=1)
+        assert catalog.stats("lineitem_1", "l_shipdate").correlation == pytest.approx(0.9)
+        assert catalog.stats("lineitem_1", "l_quantity").correlation == 0.0
+
+    def test_primary_keys_unique(self):
+        catalog = build_catalog(instances=1)
+        stats = catalog.stats("orders_1", "o_orderkey")
+        assert stats.n_distinct == catalog.table("orders_1").row_count
