@@ -9,6 +9,7 @@ Exposes the reproduction's experiments and a few interactive utilities::
     python -m repro fig6 [--bursts 20,50]  # noise resilience sweep
     python -m repro explain "select ..."   # optimize a query against the
                                            #   paper catalog and show the plan
+    python -m repro check-snapshot FILE    # validate a saved tuner snapshot
     python -m repro demo                   # 60-second COLT walkthrough
 
 Every experiment prints the same series the corresponding figure of the
@@ -29,6 +30,17 @@ from repro.bench.figures import (
     figure6_noise,
     table1_dataset,
 )
+from repro.persist import SnapshotError
+from repro.sql.binder import BindError
+from repro.sql.lexer import LexError
+from repro.sql.parser import ParseError
+
+# Distinct exit codes so scripts can react to the failure class without
+# scraping stderr.  1 stays the generic error code.
+EXIT_ERROR = 1
+EXIT_PARSE = 2
+EXIT_BIND = 3
+EXIT_SNAPSHOT = 4
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -106,6 +118,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--queries", type=int, default=400, help="workload length (stable only)"
     )
 
+    ps = sub.add_parser(
+        "check-snapshot",
+        help="validate a tuner snapshot file against the paper catalog",
+    )
+    ps.add_argument("path", help="path to a snapshot written by save_json")
+
     sub.add_parser("demo", help="a 60-second COLT walkthrough")
     return parser
 
@@ -135,11 +153,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             _run_advise(args)
         elif args.command == "timeline":
             _run_timeline(args)
+        elif args.command == "check-snapshot":
+            _run_check_snapshot(args)
         elif args.command == "demo":
             _run_demo()
+    except (LexError, ParseError) as exc:
+        print(f"parse error: {exc}", file=sys.stderr)
+        return EXIT_PARSE
+    except BindError as exc:
+        print(f"bind error: {exc}", file=sys.stderr)
+        return EXIT_BIND
+    except SnapshotError as exc:
+        print(f"snapshot error: {exc}", file=sys.stderr)
+        return EXIT_SNAPSHOT
     except (ValueError, KeyError) as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return EXIT_ERROR
     return 0
 
 
@@ -225,6 +254,18 @@ def _run_timeline(args) -> None:
     )
     print(f"workload: {workload.description}\n")
     print(trace.render_timeline())
+
+
+def _run_check_snapshot(args) -> None:
+    from repro.persist import load_json, restore_tuner
+    from repro.workload import build_catalog
+
+    snapshot = load_json(args.path)
+    tuner = restore_tuner(build_catalog(), snapshot)
+    print(f"{args.path}: OK (version {snapshot['version']})")
+    print(f"  materialized: {len(tuner.materialized_set)} indexes")
+    print(f"  hot:          {len(tuner.hot_set)} indexes")
+    print(f"  what-if budget: {tuner.profiler.whatif_budget}")
 
 
 def _run_demo() -> None:

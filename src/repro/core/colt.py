@@ -23,6 +23,9 @@ from repro.engine.storage import PhysicalStore
 from repro.optimizer.optimizer import Optimizer
 from repro.optimizer.plan import PlanNode
 from repro.optimizer.whatif import WhatIfOptimizer
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.faults import FaultInjector
+from repro.resilience.retry import RetryPolicy
 from repro.sql.ast import Query
 
 
@@ -60,10 +63,14 @@ class QueryOutcome:
             query closed (0 otherwise).
         total_cost: Sum of the above -- the COLT-side response-time
             analogue the paper measures.
-        plan: The executed plan.
+        plan: The executed plan (None for a failed query recorded in
+            ``on_error="skip"`` mode).
         epoch_ended: Whether this query closed an epoch.
         reorganization: The Self-Organizer's decisions, when an epoch
             ended.
+        error: The exception that aborted this query, when it was
+            recorded by :meth:`ColtTuner.run` in ``"skip"`` mode; None
+            for queries that processed normally.
     """
 
     index: int
@@ -72,9 +79,15 @@ class QueryOutcome:
     whatif_overhead: float
     build_cost: float
     total_cost: float
-    plan: PlanNode
+    plan: Optional[PlanNode]
     epoch_ended: bool = False
     reorganization: Optional[ReorganizationResult] = None
+    error: Optional[BaseException] = None
+
+    @property
+    def failed(self) -> bool:
+        """Whether this record stands in for a query that errored."""
+        return self.error is not None
 
 
 class ColtTuner:
@@ -87,6 +100,12 @@ class ColtTuner:
         store: Optional physical store; when given, materializations
             build real B+trees so queries can be executed.
         policy: Materialization scheduling policy.
+        breaker: Circuit breaker guarding what-if profiling; defaults
+            to a fresh one with standard thresholds.
+        retry: Backoff policy for failed index builds.
+        fault_injector: Optional fault injector; when given, its
+            failpoints are installed on the what-if optimizer and the
+            scheduler (testing and chaos runs).
     """
 
     def __init__(
@@ -95,14 +114,19 @@ class ColtTuner:
         config: Optional[ColtConfig] = None,
         store: Optional[PhysicalStore] = None,
         policy: SchedulingPolicy = SchedulingPolicy.IMMEDIATE,
+        breaker: Optional[CircuitBreaker] = None,
+        retry: Optional[RetryPolicy] = None,
+        fault_injector: Optional[FaultInjector] = None,
     ) -> None:
         self.catalog = catalog
         self.config = config or ColtConfig()
         self.optimizer = Optimizer(catalog)
         self.whatif = WhatIfOptimizer(self.optimizer)
-        self.profiler = Profiler(catalog, self.whatif, self.config)
+        self.profiler = Profiler(catalog, self.whatif, self.config, breaker=breaker)
         self.self_organizer = SelfOrganizer(catalog, self.config)
-        self.scheduler = Scheduler(catalog, store=store, policy=policy)
+        self.scheduler = Scheduler(catalog, store=store, policy=policy, retry=retry)
+        if fault_injector is not None:
+            fault_injector.attach(self)
         self._store = store
         self._queries_seen = 0
         self._epoch_inserts: dict = {}
@@ -217,9 +241,48 @@ class ColtTuner:
             total_cost=heap_cost + maintenance,
         )
 
-    def run(self, queries) -> List[QueryOutcome]:
-        """Process a sequence of queries, returning all ledger records."""
-        return [self.process_query(q) for q in queries]
+    def run(self, queries, on_error: str = "raise") -> List[QueryOutcome]:
+        """Process a sequence of queries, returning all ledger records.
+
+        Args:
+            queries: Bound queries in arrival order.
+            on_error: ``"raise"`` propagates the first failure
+                (discarding nothing the caller already holds, but ending
+                the run); ``"skip"`` records the failed query as a
+                zero-cost :class:`QueryOutcome` carrying its exception
+                and keeps going, so one bad query no longer discards all
+                prior ledger records.
+
+        Raises:
+            ValueError: for an unknown ``on_error`` mode.
+        """
+        if on_error not in ("raise", "skip"):
+            raise ValueError(f"on_error must be 'raise' or 'skip', got {on_error!r}")
+        outcomes: List[QueryOutcome] = []
+        for query in queries:
+            seen_before = self._queries_seen
+            try:
+                outcomes.append(self.process_query(query))
+            except Exception as exc:
+                if on_error == "raise":
+                    raise
+                # Keep the epoch clock ticking for the failed arrival
+                # unless process_query already counted it.
+                if self._queries_seen == seen_before:
+                    self._queries_seen += 1
+                outcomes.append(
+                    QueryOutcome(
+                        index=self._queries_seen - 1,
+                        execution_cost=0.0,
+                        whatif_calls=0,
+                        whatif_overhead=0.0,
+                        build_cost=0.0,
+                        total_cost=0.0,
+                        plan=None,
+                        error=exc,
+                    )
+                )
+        return outcomes
 
     # ------------------------------------------------------------------
     def _close_epoch(self) -> ReorganizationResult:
@@ -232,9 +295,31 @@ class ColtTuner:
         return self.self_organizer.end_epoch(report, self.profiler, inserts=inserts)
 
     def _apply(self, reorg: ReorganizationResult) -> float:
-        build_cost = self.scheduler.request_materialization(reorg.materialize)
+        # Retry previously failed builds whose backoff elapsed, then
+        # apply this boundary's fresh decisions.
+        retry = self.scheduler.advance_epoch()
+        build_cost = retry.charged
+        for index in retry.recovered:
+            self.self_organizer.materialized.add(index)
+        build_cost += self.scheduler.request_materialization(reorg.materialize)
         self.scheduler.request_drop(reorg.drop)
-        if reorg.materialize or reorg.drop:
+        # A failed build leaves the index unmaterialized: take it back
+        # out of M so NetBenefit and the knapsack see reality, and
+        # surface it on the ledger record.  Idle-policy requests are
+        # merely queued, not failed.
+        queued = set(self.scheduler.pending)
+        failed = [
+            ix
+            for ix in reorg.materialize
+            if not self.catalog.is_materialized(ix) and ix not in queued
+        ]
+        for index in failed:
+            self.self_organizer.materialized.discard(index)
+        reorg.build_failures = failed
+        reorg.recovered_builds = list(retry.recovered)
+        reorg.abandoned_builds = list(retry.abandoned)
+        reorg.breaker_state = self.profiler.breaker.state.value
+        if reorg.materialize or reorg.drop or retry.recovered:
             self.profiler.purge_stale()
         self.profiler.set_budget(reorg.whatif_budget)
         return build_cost

@@ -15,6 +15,12 @@ Consistency (§4.1): a stored measurement for an index is only valid
 while the materialized indexes on the same table are unchanged; the
 stats carry a configuration signature and reset when it no longer
 matches.
+
+Degraded mode: what-if probes run behind a circuit breaker.  Repeated
+probe failures trip it, suspending level-2 profiling (no measured gains,
+no confidence-interval updates) while crude ``BenefitC`` statistics keep
+accumulating; after a cooldown the breaker half-opens, probes a trickle,
+and closes again once calls succeed.  See ``docs/RESILIENCE.md``.
 """
 
 from __future__ import annotations
@@ -30,6 +36,8 @@ from repro.core.intervals import GainStats
 from repro.engine.catalog import Catalog
 from repro.engine.index import IndexDef
 from repro.optimizer.whatif import WhatIfOptimizer, WhatIfSession
+from repro.resilience.breaker import BreakerState, CircuitBreaker
+from repro.resilience.errors import WhatIfProbeError
 from repro.sql.ast import Query
 
 # Identity of an index within COLT's bookkeeping: table plus the ordered
@@ -95,10 +103,14 @@ class Profiler:
         catalog: Catalog,
         whatif: WhatIfOptimizer,
         config: ColtConfig,
+        breaker: Optional[CircuitBreaker] = None,
     ) -> None:
         self._catalog = catalog
         self._whatif = whatif
         self._config = config
+        self.breaker = breaker or CircuitBreaker()
+        self.probe_failures = 0
+        self.degraded_queries = 0
         self._rng = random.Random(config.seed)
         self.clusters = ClusterStore(catalog, config.history_epochs)
         self.candidates = CandidateTracker(
@@ -136,6 +148,7 @@ class Profiler:
         Returns:
             The profiling outcome (cluster, probed indexes, gains).
         """
+        self.breaker.tick()
         cluster = self.clusters.assign(query)
         used = session.base.plan.indexes_used()
 
@@ -154,20 +167,35 @@ class Profiler:
             self._bump_exposure(index, cluster)
 
         probation: List[IndexDef] = []
+        budget_cap = self.effective_budget
         self._rng.shuffle(mat_used)
         self._rng.shuffle(hot_relevant)
         for index in mat_used + hot_relevant:
-            if self.whatif_used + len(probation) >= self.whatif_budget:
+            if self.whatif_used + len(probation) >= budget_cap:
                 break
             if self._rng.random() < self._sample_rate(index, cluster):
                 probation.append(index)
+        if not self.breaker.is_closed and budget_cap == 0:
+            self.degraded_queries += 1
 
+        # Probe one index per what-if call so a single failed call loses
+        # only its own gain; each failure feeds the circuit breaker, and
+        # successful probes keep (or win back) full profiling.
         gains: Dict[IndexDef, float] = {}
-        if probation:
-            gains = self._whatif.what_if_optimize(session, probation)
-            self.whatif_used += len(probation)
-            for index, gain in gains.items():
-                self._record_gain(index, cluster, gain)
+        for index in probation:
+            if not self.breaker.allows_probes():
+                break  # tripped mid-query: stop probing immediately
+            self.whatif_used += 1
+            try:
+                probe = self._whatif.what_if_optimize(session, [index])
+            except WhatIfProbeError:
+                self.probe_failures += 1
+                self.breaker.record_failure()
+                continue
+            self.breaker.record_success()
+            for ix, gain in probe.items():
+                gains[ix] = gain
+                self._record_gain(ix, cluster, gain)
 
         # Lines 13-14: crude benefit updates for every relevant candidate.
         self.candidates.observe_query(query, used, materialized)
@@ -236,6 +264,25 @@ class Profiler:
     def set_budget(self, budget: int) -> None:
         """Install the next epoch's what-if budget ``#WI_lim``."""
         self.whatif_budget = max(0, min(budget, self._config.max_whatif_per_epoch))
+
+    @property
+    def effective_budget(self) -> int:
+        """The what-if budget actually enforceable right now.
+
+        The circuit breaker degrades two-level profiling to crude-only
+        when the what-if interface is failing: OPEN suspends probing
+        entirely (effective budget 0 regardless of the granted
+        ``#WI_lim``), HALF_OPEN lets a small probe trickle through to
+        test recovery, and CLOSED restores the full granted budget.
+        """
+        if self.breaker.state is BreakerState.OPEN:
+            return 0
+        if self.breaker.state is BreakerState.HALF_OPEN:
+            return min(
+                self.whatif_budget,
+                self.whatif_used + self.breaker.half_open_budget,
+            )
+        return self.whatif_budget
 
     # ------------------------------------------------------------------
     # Consistency maintenance

@@ -15,17 +15,35 @@ When a :class:`~repro.engine.storage.PhysicalStore` is attached the
 scheduler also builds the physical B+tree so that subsequent executions
 can actually use the index; otherwise only the catalog state changes
 (pure cost-model simulation).
+
+Build failures (:class:`IndexBuildError`, whether real or injected via
+the scheduler's ``failpoint``) do not propagate: the failed index stays
+unmaterialized -- the knapsack keeps treating it as absent -- and is
+re-queued with capped exponential backoff across epoch boundaries (see
+:meth:`Scheduler.advance_epoch`).  After the retry policy is exhausted
+the index is abandoned until the Self-Organizer requests it again.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import Iterable, List, Optional
+from typing import Callable, Iterable, List, Optional
 
 from repro.engine.catalog import Catalog
 from repro.engine.index import IndexDef
 from repro.engine.storage import PhysicalStore
+from repro.resilience.errors import IndexBuildError
+from repro.resilience.retry import RetryPolicy
+
+__all__ = [
+    "FailedBuild",
+    "IndexBuildError",
+    "RetryReport",
+    "ScheduledBuild",
+    "Scheduler",
+    "SchedulingPolicy",
+]
 
 
 class SchedulingPolicy(enum.Enum):
@@ -43,12 +61,57 @@ class ScheduledBuild:
     cost: float
 
 
+@dataclasses.dataclass
+class FailedBuild:
+    """A build that failed and is waiting (or gave up) on retries.
+
+    Attributes:
+        index: The index that failed to build.
+        attempts: Build attempts so far (including the first).
+        next_retry_epoch: Scheduler epoch at which the next retry runs.
+        error: Text of the most recent failure.
+    """
+
+    index: IndexDef
+    attempts: int
+    next_retry_epoch: int
+    error: str
+
+
+@dataclasses.dataclass
+class RetryReport:
+    """What one epoch boundary's retry pass did.
+
+    Attributes:
+        charged: Build cost charged for successful retries.
+        recovered: Indexes whose retry succeeded this epoch.
+        abandoned: Indexes whose retry policy was exhausted this epoch.
+    """
+
+    charged: float = 0.0
+    recovered: List[IndexDef] = dataclasses.field(default_factory=list)
+    abandoned: List[IndexDef] = dataclasses.field(default_factory=list)
+
+
 class Scheduler:
     """Executes materialization and drop requests against the catalog.
+
+    Args:
+        catalog: The catalog to operate on.
+        store: Optional physical store for real B+tree builds.
+        policy: When requested builds run.
+        retry: Backoff policy for failed builds.
+        failpoint: Optional hook invoked before each build attempt with
+            the index; a fault injector installs one that raises
+            :class:`IndexBuildError` per its plan.
 
     Attributes:
         total_build_cost: Cumulative cost charged for index builds.
         builds: Log of completed builds.
+        retry_queue: Failed builds awaiting a backed-off retry.
+        abandoned: Failed builds whose retry policy was exhausted.
+        failure_count: Total build failures observed (first tries and
+            retries).
     """
 
     def __init__(
@@ -56,41 +119,64 @@ class Scheduler:
         catalog: Catalog,
         store: Optional[PhysicalStore] = None,
         policy: SchedulingPolicy = SchedulingPolicy.IMMEDIATE,
+        retry: Optional[RetryPolicy] = None,
+        failpoint: Optional[Callable[[IndexDef], None]] = None,
     ) -> None:
         self._catalog = catalog
         self._store = store
         self._policy = policy
+        self._retry = retry or RetryPolicy()
+        self.failpoint = failpoint
         self._pending: List[IndexDef] = []
+        self._epoch = 0
         self.total_build_cost = 0.0
         self.builds: List[ScheduledBuild] = []
+        self.retry_queue: List[FailedBuild] = []
+        self.abandoned: List[FailedBuild] = []
+        self.failure_count = 0
 
     @property
     def pending(self) -> List[IndexDef]:
         """Builds queued under the idle-time policy."""
         return list(self._pending)
 
+    @property
+    def epoch(self) -> int:
+        """Epoch boundaries seen so far (the retry clock)."""
+        return self._epoch
+
     def request_materialization(self, indexes: Iterable[IndexDef]) -> float:
         """Request index builds; returns the cost charged *now*.
 
         Under the immediate policy every build happens (and is charged)
         at once; under the idle policy requests are queued and cost 0
-        until :meth:`on_idle`.
+        until :meth:`on_idle`.  A build that fails charges nothing and
+        joins :attr:`retry_queue`; the caller can tell from the catalog
+        (the index stays unmaterialized).
         """
         charged = 0.0
         for index in indexes:
             if self._catalog.is_materialized(index):
                 continue
             if self._policy is SchedulingPolicy.IMMEDIATE:
-                charged += self._build(index)
+                try:
+                    charged += self._build(index)
+                except IndexBuildError as exc:
+                    self._record_failure(index, exc)
             else:
                 if index not in self._pending:
                     self._pending.append(index)
         return charged
 
     def request_drop(self, indexes: Iterable[IndexDef]) -> None:
-        """Drop indexes immediately (dropping is cheap in any policy)."""
+        """Drop indexes immediately (dropping is cheap in any policy).
+
+        Dropping also cancels any queued or backed-off retry for the
+        index -- the Self-Organizer no longer wants it.
+        """
         for index in indexes:
             self._pending = [p for p in self._pending if p != index]
+            self.retry_queue = [f for f in self.retry_queue if f.index != index]
             if self._store is not None:
                 self._store.drop_index(index)
             else:
@@ -110,16 +196,86 @@ class Scheduler:
         budget = len(self._pending) if max_builds is None else max_builds
         while self._pending and budget > 0:
             index = self._pending.pop(0)
-            charged += self._build(index)
+            try:
+                charged += self._build(index)
+            except IndexBuildError as exc:
+                self._record_failure(index, exc)
             budget -= 1
         return charged
 
+    def advance_epoch(self) -> RetryReport:
+        """Close an epoch: advance the retry clock and run due retries.
+
+        Called by the tuner at every epoch boundary, before new
+        materialization requests are applied.  Each due entry gets one
+        build attempt; on failure its backoff doubles (capped) until the
+        policy's ``max_attempts``, after which it moves to
+        :attr:`abandoned`.
+
+        Returns:
+            The cost charged and the indexes recovered or abandoned.
+        """
+        self._epoch += 1
+        report = RetryReport()
+        due = [f for f in self.retry_queue if f.next_retry_epoch <= self._epoch]
+        for entry in due:
+            self.retry_queue.remove(entry)
+            if self._catalog.is_materialized(entry.index):
+                continue
+            try:
+                report.charged += self._build(entry.index)
+            except IndexBuildError as exc:
+                self.failure_count += 1
+                entry.attempts += 1
+                entry.error = str(exc)
+                if self._retry.exhausted(entry.attempts):
+                    self.abandoned.append(entry)
+                    report.abandoned.append(entry.index)
+                else:
+                    entry.next_retry_epoch = self._epoch + self._retry.delay_for(
+                        entry.attempts
+                    )
+                    self.retry_queue.append(entry)
+            else:
+                report.recovered.append(entry.index)
+        return report
+
+    # ------------------------------------------------------------------
+    def _record_failure(self, index: IndexDef, exc: IndexBuildError) -> None:
+        self.failure_count += 1
+        if any(f.index == index for f in self.retry_queue):
+            return
+        self.retry_queue.append(
+            FailedBuild(
+                index=index,
+                attempts=1,
+                next_retry_epoch=self._epoch + self._retry.delay_for(1),
+                error=str(exc),
+            )
+        )
+
     def _build(self, index: IndexDef) -> float:
+        if self.failpoint is not None:
+            self.failpoint(index)
         cost = self._catalog.index_build_cost(index)
-        if self._store is not None:
-            self._store.build_index(index)
-        else:
-            self._catalog.materialize_index(index)
+        try:
+            if self._store is not None:
+                self._store.build_index(index)
+            else:
+                self._catalog.materialize_index(index)
+        except IndexBuildError:
+            raise
+        except Exception as exc:
+            # Roll back any partial physical state so the index is
+            # cleanly absent, then normalize to the scheduler's error.
+            try:
+                if self._store is not None:
+                    self._store.drop_index(index)
+                elif self._catalog.is_materialized(index):
+                    self._catalog.drop_index(index)
+            except Exception:
+                pass
+            raise IndexBuildError(f"build of {index} failed: {exc}") from exc
         self.total_build_cost += cost
         self.builds.append(ScheduledBuild(index=index, cost=cost))
         return cost

@@ -46,6 +46,15 @@ class ReorganizationResult:
         hot: The next epoch's hot set.
         whatif_budget: The next epoch's what-if budget ``#WI_lim``.
         improvement_ratio: The re-budgeting ratio ``r``.
+        build_failures: Requested materializations whose build failed
+            this boundary; they stay out of ``M`` (the knapsack treats
+            them as unmaterialized) and retry with backoff.
+        recovered_builds: Previously failed builds whose backed-off
+            retry succeeded at this boundary (re-admitted to ``M``).
+        abandoned_builds: Failed builds whose retry policy was exhausted
+            at this boundary.
+        breaker_state: The profiling circuit breaker's state after this
+            boundary (``"closed"``, ``"open"`` or ``"half_open"``).
     """
 
     materialize: List[IndexDef]
@@ -53,6 +62,10 @@ class ReorganizationResult:
     hot: List[IndexDef]
     whatif_budget: int
     improvement_ratio: float
+    build_failures: List[IndexDef] = dataclasses.field(default_factory=list)
+    recovered_builds: List[IndexDef] = dataclasses.field(default_factory=list)
+    abandoned_builds: List[IndexDef] = dataclasses.field(default_factory=list)
+    breaker_state: str = "closed"
 
 
 class SelfOrganizer:

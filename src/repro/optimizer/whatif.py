@@ -27,12 +27,15 @@ the same engineering the paper's PostgreSQL prototype does.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.engine.index import IndexDef
 from repro.optimizer.access import IndexConfig
 from repro.optimizer.optimizer import OptimizationResult, Optimizer, PlanCache
+from repro.resilience.errors import WhatIfProbeError
 from repro.sql.ast import Query
+
+__all__ = ["WhatIfOptimizer", "WhatIfSession", "WhatIfProbeError"]
 
 
 @dataclasses.dataclass
@@ -57,12 +60,18 @@ class WhatIfOptimizer:
     Attributes:
         call_count: Total number of what-if calls issued (one per probed
             index), the quantity Figure 5 charts per epoch.
+        failpoint: Optional hook invoked once per probe with the index
+            being probed; a fault injector installs one that raises
+            :class:`WhatIfProbeError` per its plan.  A failed probe is
+            still counted (and charged) -- in the system this simulates,
+            a timed-out what-if call costs time.
     """
 
     def __init__(self, optimizer: Optimizer) -> None:
         self._optimizer = optimizer
         self.call_count = 0
         self.probed_indexes: set = set()
+        self.failpoint: Optional[Callable[[IndexDef], None]] = None
 
     @property
     def optimizer(self) -> Optimizer:
@@ -94,6 +103,13 @@ class WhatIfOptimizer:
             >= 0 means the index helps or is neutral; may be negative in
             rare cases where hypothesizing an index changes join-order
             tie-breaks).
+
+        Raises:
+            WhatIfProbeError: when a probe fails (injected fault or an
+                optimizer error).  The failed call is already counted;
+                gains for indexes probed earlier in this invocation are
+                lost with it, so callers wanting per-index isolation
+                probe one index per call.
         """
         if materialized is None:
             materialized = self._optimizer.current_config()
@@ -101,24 +117,33 @@ class WhatIfOptimizer:
         for index in probation:
             self.call_count += 1
             self.probed_indexes.add(index)
-            if index in materialized:
-                # Reverse what-if: how much worse would the query be
-                # without this materialized index?
-                without = self._optimizer.optimize(
-                    session.query,
-                    config=materialized - {index},
-                    cache=session.cache,
-                )
-                with_cost = self._cost_under(session, materialized)
-                gains[index] = without.cost - with_cost
-            else:
-                with_index = self._optimizer.optimize(
-                    session.query,
-                    config=materialized | {index},
-                    cache=session.cache,
-                )
-                without_cost = self._cost_under(session, materialized)
-                gains[index] = without_cost - with_index.cost
+            if self.failpoint is not None:
+                self.failpoint(index)
+            try:
+                if index in materialized:
+                    # Reverse what-if: how much worse would the query be
+                    # without this materialized index?
+                    without = self._optimizer.optimize(
+                        session.query,
+                        config=materialized - {index},
+                        cache=session.cache,
+                    )
+                    with_cost = self._cost_under(session, materialized)
+                    gains[index] = without.cost - with_cost
+                else:
+                    with_index = self._optimizer.optimize(
+                        session.query,
+                        config=materialized | {index},
+                        cache=session.cache,
+                    )
+                    without_cost = self._cost_under(session, materialized)
+                    gains[index] = without_cost - with_index.cost
+            except WhatIfProbeError:
+                raise
+            except Exception as exc:
+                raise WhatIfProbeError(
+                    f"what-if probe for {index} failed: {exc}"
+                ) from exc
         return gains
 
     def gains_for(

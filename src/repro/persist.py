@@ -13,6 +13,16 @@ Their validity is tied to the precise materialized configuration and to
 live cluster identities; after a restart the profiler re-gathers them
 quickly, guided by the restored benefit histories.
 
+Durability: :func:`save_json` writes atomically (temp file in the same
+directory, ``fsync``, then ``os.replace``) and embeds a SHA-256 checksum
+of the payload, so a crash mid-write can never leave a half-written
+snapshot in place and silent corruption is detected on load.  Every
+malformed-snapshot path -- truncated file, checksum mismatch, version
+skew, unknown tables/columns, missing keys -- raises
+:class:`SnapshotError`; :func:`load_or_quarantine` converts that into
+"move the bad file aside and restart fresh" for callers that must come
+up regardless.
+
 Usage::
 
     snapshot = snapshot_tuner(tuner)
@@ -23,8 +33,11 @@ Usage::
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
 import pathlib
+import tempfile
 from typing import Dict, Optional, Union
 
 from repro.core.colt import ColtTuner
@@ -34,6 +47,9 @@ from repro.engine.catalog import Catalog
 from repro.engine.storage import PhysicalStore
 
 SNAPSHOT_VERSION = 1
+
+#: Marker identifying the checksummed on-disk envelope format.
+SNAPSHOT_FORMAT = "colt-snapshot"
 
 
 class SnapshotError(ValueError):
@@ -90,13 +106,27 @@ def restore_tuner(
     build cost -- they already exist on disk in the scenario this models.
 
     Raises:
-        SnapshotError: on version mismatch or references to tables or
-            columns absent from the catalog.
+        SnapshotError: on version mismatch, references to tables or
+            columns absent from the catalog, or any structurally
+            malformed snapshot (missing keys, wrong value types).
     """
+    if not isinstance(snapshot, dict):
+        raise SnapshotError(f"snapshot must be a dict, got {type(snapshot).__name__}")
     if snapshot.get("version") != SNAPSHOT_VERSION:
         raise SnapshotError(
             f"unsupported snapshot version {snapshot.get('version')!r}"
         )
+    try:
+        return _restore_tuner(catalog, snapshot, store)
+    except SnapshotError:
+        raise
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
+        raise SnapshotError(f"malformed snapshot: {exc!r}") from exc
+
+
+def _restore_tuner(
+    catalog: Catalog, snapshot: Dict, store: Optional[PhysicalStore]
+) -> ColtTuner:
     config = _config_from_dict(snapshot["config"])
     tuner = ColtTuner(catalog, config, store=store)
     so = tuner.self_organizer
@@ -127,14 +157,111 @@ def restore_tuner(
     return tuner
 
 
+def checksum(snapshot: Dict) -> str:
+    """SHA-256 over the snapshot's canonical JSON encoding."""
+    canonical = json.dumps(snapshot, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
 def save_json(path: Union[str, pathlib.Path], snapshot: Dict) -> None:
-    """Write a snapshot to a JSON file."""
-    pathlib.Path(path).write_text(json.dumps(snapshot, indent=1))
+    """Write a snapshot to a JSON file atomically, with a checksum.
+
+    The bytes land in a temporary file in the destination directory,
+    are fsynced, and only then renamed over the target with
+    ``os.replace`` -- a crash at any point leaves either the old
+    snapshot or the new one, never a torn file.
+    """
+    target = pathlib.Path(path)
+    envelope = {
+        "format": SNAPSHOT_FORMAT,
+        "checksum": checksum(snapshot),
+        "snapshot": snapshot,
+    }
+    data = json.dumps(envelope, indent=1)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(target.parent) or ".", prefix=target.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    # Persist the rename itself (best effort; not all filesystems
+    # support fsync on directories).
+    try:
+        dir_fd = os.open(str(target.parent) or ".", os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:
+        pass
+    finally:
+        os.close(dir_fd)
 
 
 def load_json(path: Union[str, pathlib.Path]) -> Dict:
-    """Read a snapshot from a JSON file."""
-    return json.loads(pathlib.Path(path).read_text())
+    """Read and verify a snapshot from a JSON file.
+
+    Accepts both the checksummed envelope written by :func:`save_json`
+    and legacy bare-snapshot files (no checksum to verify).
+
+    Raises:
+        SnapshotError: if the file is unreadable, not valid JSON
+            (e.g. truncated by a crash mid-write), or its embedded
+            checksum does not match the payload.
+    """
+    p = pathlib.Path(path)
+    try:
+        text = p.read_text()
+    except OSError as exc:
+        raise SnapshotError(f"cannot read snapshot {p}: {exc}") from exc
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SnapshotError(f"corrupt snapshot {p}: {exc}") from exc
+    if not isinstance(data, dict):
+        raise SnapshotError(f"corrupt snapshot {p}: not a JSON object")
+    if data.get("format") == SNAPSHOT_FORMAT:
+        if "checksum" not in data or "snapshot" not in data:
+            raise SnapshotError(f"corrupt snapshot {p}: incomplete envelope")
+        snapshot = data["snapshot"]
+        if checksum(snapshot) != data["checksum"]:
+            raise SnapshotError(f"corrupt snapshot {p}: checksum mismatch")
+        return snapshot
+    # Legacy bare snapshot (pre-envelope format).
+    return data
+
+
+def load_or_quarantine(path: Union[str, pathlib.Path]) -> Optional[Dict]:
+    """Load a snapshot, quarantining it instead of raising if corrupt.
+
+    A malformed file is renamed to ``<name>.corrupt`` (``.corrupt.1``,
+    ``.corrupt.2``, ... if that exists) next to the original so it can
+    be inspected later, and None is returned -- the caller starts with
+    a fresh tuner instead of crashing.  A missing file also returns
+    None (nothing to quarantine).
+    """
+    p = pathlib.Path(path)
+    if not p.exists():
+        return None
+    try:
+        return load_json(p)
+    except SnapshotError:
+        quarantine = p.with_name(p.name + ".corrupt")
+        n = 0
+        while quarantine.exists():
+            n += 1
+            quarantine = p.with_name(f"{p.name}.corrupt.{n}")
+        os.replace(p, quarantine)
+        return None
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,47 @@
+"""Exception taxonomy for the resilience subsystem.
+
+These live in a dependency-free module so that both the core pipeline
+(profiler, scheduler, what-if optimizer) and the fault injector can
+share them without import cycles: ``repro.core.*`` imports from here,
+and ``repro.resilience.faults`` raises these into the core, never the
+other way around.
+"""
+
+from __future__ import annotations
+
+
+class WhatIfProbeError(RuntimeError):
+    """A single what-if probe failed (call error or timeout).
+
+    Raised by :class:`~repro.optimizer.whatif.WhatIfOptimizer` when a
+    probe cannot be answered -- either because the underlying optimizer
+    raised, or because a fault injector fired.  The probe's what-if call
+    is still counted (and charged): a failed call costs wall-clock time
+    in the system this simulates.
+    """
+
+
+class IndexBuildError(RuntimeError):
+    """An index build failed mid-materialization.
+
+    Raised by the scheduler's build path.  The failed index is left
+    unmaterialized (any partial physical state is rolled back) so the
+    knapsack keeps treating it as absent.
+    """
+
+
+class InjectedFault(RuntimeError):
+    """Marker mixin for failures originating from the fault injector.
+
+    Concrete injected failures multiply-inherit from this and the
+    site-specific error so production code can catch the site error
+    while tests assert the failure was injected.
+    """
+
+
+class InjectedWhatIfFault(InjectedFault, WhatIfProbeError):
+    """An injected what-if call failure."""
+
+
+class InjectedBuildFault(InjectedFault, IndexBuildError):
+    """An injected index-build failure."""

@@ -1,0 +1,187 @@
+"""Fault injection: reproducible failure plans for the tuning pipeline.
+
+The :class:`FaultInjector` turns every failure mode the resilience
+subsystem defends against into a deterministic, configurable event
+source:
+
+* **what-if call failures/timeouts** -- a failpoint installed on
+  :class:`~repro.optimizer.whatif.WhatIfOptimizer` raises
+  :class:`~repro.resilience.errors.InjectedWhatIfFault` per the plan;
+* **index-build failures mid-epoch** -- a failpoint installed on the
+  :class:`~repro.core.scheduler.Scheduler` raises
+  :class:`~repro.resilience.errors.InjectedBuildFault`;
+* **truncated/corrupted snapshots** -- :meth:`FaultInjector.corrupt_file`
+  damages a snapshot file on disk the way a crash mid-write would.
+
+Faults fire from a per-site :class:`FaultSpec` that combines a
+probability (its RNG is seeded, so storms replay exactly), an explicit
+call-number schedule, a periodic ``every``-th-call trigger, and manual
+arming via :meth:`FaultInjector.arm` (used e.g. to force one build
+failure at each workload phase shift).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import pathlib
+import random
+from typing import Dict, Optional, Tuple, Union
+
+from repro.resilience.errors import InjectedBuildFault, InjectedWhatIfFault
+
+#: Sites the injector knows how to fail.
+SITES = ("whatif", "build", "snapshot")
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSpec:
+    """When a site should fail.
+
+    Any combination of triggers may be set; the site fails when *any*
+    of them fires for the current call.
+
+    Attributes:
+        probability: Chance in ``[0, 1]`` that any given call fails.
+        at_calls: Explicit 1-based call numbers that fail.
+        every: Fail every ``every``-th call (1-based), when set.
+        limit: Cap on the number of faults this spec may inject
+            (``None`` means unlimited).
+    """
+
+    probability: float = 0.0
+    at_calls: Tuple[int, ...] = ()
+    every: Optional[int] = None
+    limit: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        if self.every is not None and self.every < 1:
+            raise ValueError("every must be positive")
+
+
+class FaultPlan:
+    """A named collection of per-site fault specs."""
+
+    def __init__(self, **specs: FaultSpec) -> None:
+        for site in specs:
+            if site not in SITES:
+                raise ValueError(f"unknown fault site {site!r}; expected one of {SITES}")
+        self.specs: Dict[str, FaultSpec] = dict(specs)
+
+    def spec(self, site: str) -> Optional[FaultSpec]:
+        """The spec for a site, if one was configured."""
+        return self.specs.get(site)
+
+
+class FaultInjector:
+    """Deterministic fault source for the tuning pipeline.
+
+    Args:
+        plan: Per-site fault specs; omitted sites never fail unless
+            armed manually.
+        seed: Seed for the probability triggers, so fault storms replay
+            bit-for-bit.
+
+    Attributes:
+        calls: Per-site count of failpoint evaluations.
+        injected: Per-site count of faults actually fired.
+    """
+
+    def __init__(self, plan: Optional[FaultPlan] = None, seed: int = 0) -> None:
+        self.plan = plan or FaultPlan()
+        self._rng = random.Random(seed)
+        self.calls: Dict[str, int] = {site: 0 for site in SITES}
+        self.injected: Dict[str, int] = {site: 0 for site in SITES}
+        self._armed: Dict[str, int] = {site: 0 for site in SITES}
+
+    # ------------------------------------------------------------------
+    def arm(self, site: str, count: int = 1) -> None:
+        """Force the next ``count`` calls at ``site`` to fail."""
+        if site not in SITES:
+            raise ValueError(f"unknown fault site {site!r}")
+        self._armed[site] += count
+
+    def should_fail(self, site: str) -> bool:
+        """Evaluate the plan for one call at ``site`` (advances counters)."""
+        self.calls[site] += 1
+        fired = False
+        if self._armed[site] > 0:
+            self._armed[site] -= 1
+            fired = True
+        else:
+            spec = self.plan.spec(site)
+            if spec is not None and not (
+                spec.limit is not None and self.injected[site] >= spec.limit
+            ):
+                call = self.calls[site]
+                if call in spec.at_calls:
+                    fired = True
+                elif spec.every is not None and call % spec.every == 0:
+                    fired = True
+                elif spec.probability > 0.0 and self._rng.random() < spec.probability:
+                    fired = True
+        if fired:
+            self.injected[site] += 1
+        return fired
+
+    # ------------------------------------------------------------------
+    # Failpoints (installed on pipeline components)
+    # ------------------------------------------------------------------
+    def whatif_failpoint(self, index) -> None:
+        """Failpoint for what-if probes; raises on a planned fault."""
+        if self.should_fail("whatif"):
+            raise InjectedWhatIfFault(
+                f"injected what-if failure probing {index} "
+                f"(call #{self.calls['whatif']})"
+            )
+
+    def build_failpoint(self, index) -> None:
+        """Failpoint for index builds; raises on a planned fault."""
+        if self.should_fail("build"):
+            raise InjectedBuildFault(
+                f"injected build failure for {index} "
+                f"(call #{self.calls['build']})"
+            )
+
+    def attach(self, tuner) -> None:
+        """Install this injector's failpoints on a tuner's components."""
+        tuner.whatif.failpoint = self.whatif_failpoint
+        tuner.scheduler.failpoint = self.build_failpoint
+
+    # ------------------------------------------------------------------
+    # Snapshot corruption
+    # ------------------------------------------------------------------
+    def corrupt_file(
+        self, path: Union[str, pathlib.Path], mode: str = "truncate"
+    ) -> None:
+        """Damage a snapshot file the way a crash or bad disk would.
+
+        Args:
+            path: File to damage in place.
+            mode: ``"truncate"`` cuts the file mid-byte (crash during a
+                non-atomic write); ``"flip"`` flips one bit in the middle
+                (silent media corruption -- caught by the checksum);
+                ``"empty"`` leaves a zero-byte file.
+        """
+        p = pathlib.Path(path)
+        data = p.read_bytes()
+        self.calls["snapshot"] += 1
+        self.injected["snapshot"] += 1
+        if mode == "truncate":
+            p.write_bytes(data[: max(1, len(data) // 2)])
+        elif mode == "flip":
+            mid = len(data) // 2
+            flipped = bytes([data[mid] ^ 0x40])
+            p.write_bytes(data[:mid] + flipped + data[mid + 1 :])
+        elif mode == "empty":
+            p.write_bytes(b"")
+        else:
+            raise ValueError(f"unknown corruption mode {mode!r}")
+        # Make sure the damage is on disk before any reader opens it.
+        fd = os.open(p, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)

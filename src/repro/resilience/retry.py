@@ -1,0 +1,47 @@
+"""Retry policy with capped exponential backoff, measured in epochs.
+
+The scheduler retries failed index builds at epoch boundaries -- the
+only points where the simulation charges build work -- so delays are
+counted in epochs rather than wall-clock seconds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff for failed index builds.
+
+    Attributes:
+        base_delay_epochs: Delay before the first retry.
+        multiplier: Backoff growth factor per failed attempt.
+        max_delay_epochs: Cap on the delay between attempts.
+        max_attempts: Total build attempts (including the first) before
+            the index is abandoned until the knapsack re-requests it.
+    """
+
+    base_delay_epochs: int = 1
+    multiplier: float = 2.0
+    max_delay_epochs: int = 8
+    max_attempts: int = 5
+
+    def __post_init__(self) -> None:
+        if self.base_delay_epochs < 1:
+            raise ValueError("base_delay_epochs must be positive")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if self.max_delay_epochs < self.base_delay_epochs:
+            raise ValueError("max_delay_epochs must be >= base_delay_epochs")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be positive")
+
+    def delay_for(self, attempts: int) -> int:
+        """Epochs to wait after the ``attempts``-th failed attempt."""
+        delay = self.base_delay_epochs * self.multiplier ** max(0, attempts - 1)
+        return int(min(self.max_delay_epochs, delay))
+
+    def exhausted(self, attempts: int) -> bool:
+        """Whether no further retries should be scheduled."""
+        return attempts >= self.max_attempts

@@ -1,0 +1,100 @@
+"""Unit tests for the profiling circuit breaker."""
+
+import pytest
+
+from repro.resilience import BreakerState, CircuitBreaker
+
+
+def make(threshold=3, cooldown=5, recovery=2):
+    return CircuitBreaker(
+        failure_threshold=threshold,
+        cooldown_ticks=cooldown,
+        recovery_threshold=recovery,
+    )
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"failure_threshold": 0},
+            {"cooldown_ticks": 0},
+            {"recovery_threshold": 0},
+        ],
+    )
+    def test_positive_params_required(self, kwargs):
+        with pytest.raises(ValueError):
+            CircuitBreaker(**kwargs)
+
+
+class TestTrip:
+    def test_starts_closed(self):
+        breaker = make()
+        assert breaker.is_closed
+        assert breaker.allows_probes()
+
+    def test_opens_after_consecutive_failures(self):
+        breaker = make(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.is_closed
+        breaker.record_failure()
+        assert breaker.is_open
+        assert not breaker.allows_probes()
+        assert breaker.total_trips == 1
+
+    def test_success_resets_failure_streak(self):
+        breaker = make(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.is_closed  # streak restarted after the success
+
+
+class TestRecovery:
+    def _tripped(self, cooldown=5, recovery=2):
+        breaker = make(threshold=1, cooldown=cooldown, recovery=recovery)
+        breaker.record_failure()
+        assert breaker.is_open
+        return breaker
+
+    def test_cooldown_ticks_to_half_open(self):
+        breaker = self._tripped(cooldown=5)
+        for _ in range(4):
+            breaker.tick()
+        assert breaker.is_open
+        breaker.tick()
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert breaker.allows_probes()
+
+    def test_half_open_successes_close(self):
+        breaker = self._tripped(cooldown=1, recovery=2)
+        breaker.tick()
+        breaker.record_success()
+        assert breaker.state is BreakerState.HALF_OPEN
+        breaker.record_success()
+        assert breaker.is_closed
+
+    def test_half_open_failure_reopens(self):
+        breaker = self._tripped(cooldown=1)
+        breaker.tick()
+        assert breaker.state is BreakerState.HALF_OPEN
+        breaker.record_failure()
+        assert breaker.is_open
+        assert breaker.total_trips == 2
+        # Cooldown restarted: one tick is again enough here.
+        breaker.tick()
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_transition_log_records_full_cycle(self):
+        breaker = self._tripped(cooldown=1, recovery=1)
+        breaker.tick()
+        breaker.record_success()
+        states = [(frm, to) for frm, to, _tick in breaker.transitions]
+        assert states == [
+            ("closed", "open"),
+            ("open", "half_open"),
+            ("half_open", "closed"),
+        ]

@@ -1,0 +1,122 @@
+"""Unit tests for the fault injector."""
+
+import pytest
+
+from repro.resilience import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedBuildFault,
+    InjectedFault,
+    InjectedWhatIfFault,
+)
+
+
+class TestFaultSpec:
+    def test_probability_range_validated(self):
+        with pytest.raises(ValueError):
+            FaultSpec(probability=1.5)
+        with pytest.raises(ValueError):
+            FaultSpec(probability=-0.1)
+
+    def test_every_validated(self):
+        with pytest.raises(ValueError):
+            FaultSpec(every=0)
+
+
+class TestFaultPlan:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(bogus=FaultSpec(probability=1.0))
+
+    def test_missing_site_never_fails(self):
+        injector = FaultInjector(FaultPlan())
+        assert not any(injector.should_fail("whatif") for _ in range(100))
+
+
+class TestTriggers:
+    def test_at_calls_schedule(self):
+        injector = FaultInjector(FaultPlan(whatif=FaultSpec(at_calls=(2, 4))))
+        fired = [injector.should_fail("whatif") for _ in range(5)]
+        assert fired == [False, True, False, True, False]
+
+    def test_every_nth_call(self):
+        injector = FaultInjector(FaultPlan(build=FaultSpec(every=3)))
+        fired = [injector.should_fail("build") for _ in range(6)]
+        assert fired == [False, False, True, False, False, True]
+
+    def test_limit_caps_injections(self):
+        injector = FaultInjector(FaultPlan(whatif=FaultSpec(every=1, limit=2)))
+        fired = [injector.should_fail("whatif") for _ in range(5)]
+        assert fired == [True, True, False, False, False]
+        assert injector.injected["whatif"] == 2
+
+    def test_probability_is_deterministic_per_seed(self):
+        def storm(seed):
+            injector = FaultInjector(
+                FaultPlan(whatif=FaultSpec(probability=0.3)), seed=seed
+            )
+            return [injector.should_fail("whatif") for _ in range(200)]
+
+        assert storm(7) == storm(7)
+        assert storm(7) != storm(8)
+        assert 20 < sum(storm(7)) < 100  # roughly 30%
+
+    def test_arm_forces_next_calls(self):
+        injector = FaultInjector()
+        injector.arm("build", count=2)
+        assert injector.should_fail("build")
+        assert injector.should_fail("build")
+        assert not injector.should_fail("build")
+
+    def test_arm_unknown_site(self):
+        with pytest.raises(ValueError):
+            FaultInjector().arm("bogus")
+
+
+class TestFailpoints:
+    def test_whatif_failpoint_raises_injected_fault(self):
+        injector = FaultInjector(FaultPlan(whatif=FaultSpec(every=1)))
+        with pytest.raises(InjectedWhatIfFault):
+            injector.whatif_failpoint("ix_events_user_id")
+
+    def test_build_failpoint_raises_injected_fault(self):
+        injector = FaultInjector(FaultPlan(build=FaultSpec(every=1)))
+        with pytest.raises(InjectedBuildFault) as err:
+            injector.build_failpoint("ix_events_user_id")
+        assert isinstance(err.value, InjectedFault)
+
+    def test_quiet_failpoints_pass_through(self):
+        injector = FaultInjector()
+        injector.whatif_failpoint("ix")  # no plan, no fault
+        injector.build_failpoint("ix")
+        assert injector.injected == {"whatif": 0, "build": 0, "snapshot": 0}
+
+
+class TestFileCorruption:
+    def test_truncate(self, tmp_path):
+        path = tmp_path / "snap.json"
+        path.write_bytes(b"x" * 100)
+        FaultInjector().corrupt_file(path, mode="truncate")
+        assert len(path.read_bytes()) == 50
+
+    def test_flip(self, tmp_path):
+        path = tmp_path / "snap.json"
+        original = b'{"key": "value", "other": 123}'
+        path.write_bytes(original)
+        FaultInjector().corrupt_file(path, mode="flip")
+        damaged = path.read_bytes()
+        assert damaged != original
+        assert len(damaged) == len(original)
+
+    def test_empty(self, tmp_path):
+        path = tmp_path / "snap.json"
+        path.write_bytes(b"data")
+        FaultInjector().corrupt_file(path, mode="empty")
+        assert path.read_bytes() == b""
+
+    def test_unknown_mode(self, tmp_path):
+        path = tmp_path / "snap.json"
+        path.write_bytes(b"data")
+        with pytest.raises(ValueError):
+            FaultInjector().corrupt_file(path, mode="bogus")

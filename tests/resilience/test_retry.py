@@ -1,0 +1,32 @@
+"""Unit tests for the build retry policy."""
+
+import pytest
+
+from repro.resilience import RetryPolicy
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially_and_caps(self):
+        policy = RetryPolicy(
+            base_delay_epochs=1, multiplier=2.0, max_delay_epochs=8
+        )
+        assert [policy.delay_for(n) for n in (1, 2, 3, 4, 5)] == [1, 2, 4, 8, 8]
+
+    def test_exhausted(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert not policy.exhausted(2)
+        assert policy.exhausted(3)
+        assert policy.exhausted(4)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"base_delay_epochs": 0},
+            {"multiplier": 0.5},
+            {"base_delay_epochs": 4, "max_delay_epochs": 2},
+            {"max_attempts": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)

@@ -1,0 +1,128 @@
+"""Scheduler build-failure handling: retry queue, backoff, abandonment."""
+
+import pytest
+
+from repro.core.scheduler import IndexBuildError, Scheduler
+from repro.resilience import FaultInjector, FaultPlan, FaultSpec, RetryPolicy
+
+
+def failing_injector(**spec_kwargs):
+    return FaultInjector(FaultPlan(build=FaultSpec(**spec_kwargs)))
+
+
+class TestBuildFailure:
+    def test_failed_build_stays_unmaterialized_and_queued(self, small_catalog):
+        injector = failing_injector(every=1, limit=1)
+        scheduler = Scheduler(small_catalog, failpoint=injector.build_failpoint)
+        ix = small_catalog.index_for("events", "user_id")
+        charged = scheduler.request_materialization([ix])
+        assert charged == 0.0
+        assert not small_catalog.is_materialized(ix)
+        assert [f.index for f in scheduler.retry_queue] == [ix]
+        assert scheduler.failure_count == 1
+        assert scheduler.builds == []
+
+    def test_retry_waits_for_backoff(self, small_catalog):
+        injector = failing_injector(every=1, limit=1)
+        scheduler = Scheduler(
+            small_catalog,
+            failpoint=injector.build_failpoint,
+            retry=RetryPolicy(base_delay_epochs=2),
+        )
+        ix = small_catalog.index_for("events", "user_id")
+        scheduler.request_materialization([ix])
+        report = scheduler.advance_epoch()  # epoch 1 < next_retry_epoch 2
+        assert report.recovered == [] and report.charged == 0.0
+        assert not small_catalog.is_materialized(ix)
+        report = scheduler.advance_epoch()  # epoch 2: due
+        assert report.recovered == [ix]
+        assert report.charged > 0.0
+        assert small_catalog.is_materialized(ix)
+        assert scheduler.retry_queue == []
+
+    def test_backoff_doubles_across_failed_retries(self, small_catalog):
+        injector = failing_injector(every=1)  # always fails
+        scheduler = Scheduler(
+            small_catalog,
+            failpoint=injector.build_failpoint,
+            retry=RetryPolicy(base_delay_epochs=1, max_delay_epochs=8,
+                              max_attempts=10),
+        )
+        ix = small_catalog.index_for("events", "user_id")
+        scheduler.request_materialization([ix])
+        gaps = []
+        last_attempt_epoch = 0
+        for _ in range(16):
+            before = scheduler.retry_queue[0].attempts
+            scheduler.advance_epoch()
+            after = scheduler.retry_queue[0].attempts
+            if after > before:
+                gaps.append(scheduler.epoch - last_attempt_epoch)
+                last_attempt_epoch = scheduler.epoch
+        assert gaps[:4] == [1, 2, 4, 8]
+
+    def test_abandoned_after_max_attempts(self, small_catalog):
+        injector = failing_injector(every=1)
+        scheduler = Scheduler(
+            small_catalog,
+            failpoint=injector.build_failpoint,
+            retry=RetryPolicy(base_delay_epochs=1, max_delay_epochs=1,
+                              max_attempts=3),
+        )
+        ix = small_catalog.index_for("events", "user_id")
+        scheduler.request_materialization([ix])
+        for _ in range(3):
+            scheduler.advance_epoch()
+        assert scheduler.retry_queue == []
+        assert [f.index for f in scheduler.abandoned] == [ix]
+        assert not small_catalog.is_materialized(ix)
+
+    def test_drop_cancels_pending_retry(self, small_catalog):
+        injector = failing_injector(every=1, limit=1)
+        scheduler = Scheduler(small_catalog, failpoint=injector.build_failpoint)
+        ix = small_catalog.index_for("events", "user_id")
+        scheduler.request_materialization([ix])
+        assert scheduler.retry_queue
+        scheduler.request_drop([ix])
+        assert scheduler.retry_queue == []
+        assert scheduler.advance_epoch().recovered == []
+
+    def test_rerequest_before_backoff_can_succeed(self, small_catalog):
+        """The knapsack re-requesting a queued index builds it at once."""
+        injector = failing_injector(every=1, limit=1)
+        scheduler = Scheduler(small_catalog, failpoint=injector.build_failpoint)
+        ix = small_catalog.index_for("events", "user_id")
+        scheduler.request_materialization([ix])
+        charged = scheduler.request_materialization([ix])
+        assert charged > 0.0
+        assert small_catalog.is_materialized(ix)
+        # The stale retry entry is skipped once the index exists.
+        assert scheduler.advance_epoch().recovered == []
+
+
+class TestPhysicalRollback:
+    def test_store_error_normalized_and_rolled_back(self, small_store, monkeypatch):
+        scheduler = Scheduler(small_store.catalog, store=small_store)
+        ix = small_store.catalog.index_for("events", "user_id")
+
+        def exploding_build(index):
+            raise RuntimeError("disk full")
+
+        monkeypatch.setattr(small_store, "build_index", exploding_build)
+        with pytest.raises(IndexBuildError):
+            scheduler._build(ix)
+        assert not small_store.catalog.is_materialized(ix)
+        assert small_store.tree(ix) is None
+
+    def test_request_materialization_absorbs_store_error(
+        self, small_store, monkeypatch
+    ):
+        scheduler = Scheduler(small_store.catalog, store=small_store)
+        ix = small_store.catalog.index_for("events", "user_id")
+        monkeypatch.setattr(
+            small_store,
+            "build_index",
+            lambda index: (_ for _ in ()).throw(RuntimeError("disk full")),
+        )
+        assert scheduler.request_materialization([ix]) == 0.0
+        assert [f.index for f in scheduler.retry_queue] == [ix]

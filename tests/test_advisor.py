@@ -105,5 +105,5 @@ class TestAdviseCli:
     def test_cli_advise_bad_sql(self, capsys):
         from repro.cli import main
 
-        assert main(["advise", "selectt nope"]) == 1
+        assert main(["advise", "selectt nope"]) == 2  # EXIT_PARSE
         assert "error:" in capsys.readouterr().err

@@ -2,7 +2,15 @@
 
 import pytest
 
-from repro.cli import _ascii_bars, build_parser, main
+from repro.cli import (
+    EXIT_BIND,
+    EXIT_ERROR,
+    EXIT_PARSE,
+    EXIT_SNAPSHOT,
+    _ascii_bars,
+    build_parser,
+    main,
+)
 
 
 class TestParser:
@@ -53,7 +61,7 @@ class TestCommands:
         assert "used indexes" in out
 
     def test_explain_bad_sql_is_an_error(self, capsys):
-        assert main(["explain", "selectt nope"]) == 1
+        assert main(["explain", "selectt nope"]) == 2  # EXIT_PARSE
         assert "error:" in capsys.readouterr().err
 
     def test_explain_bad_index_spec(self, capsys):
@@ -89,6 +97,51 @@ class TestTimeline:
     def test_timeline_workload_choices(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["timeline", "--workload", "bogus"])
+
+
+class TestExitCodes:
+    """Failure classes map to distinct exit codes (no tracebacks)."""
+
+    def test_parse_error_exit_code(self, capsys):
+        assert main(["explain", "selectt nope"]) == EXIT_PARSE
+        assert "parse error:" in capsys.readouterr().err
+
+    def test_lex_error_exit_code(self, capsys):
+        assert main(["explain", "select ~ from lineitem_1"]) == EXIT_PARSE
+
+    def test_bind_error_exit_code(self, capsys):
+        sql = "select no_such_column from lineitem_1"
+        assert main(["explain", sql]) == EXIT_BIND
+        assert "bind error:" in capsys.readouterr().err
+
+    def test_snapshot_error_exit_code(self, capsys, tmp_path):
+        path = tmp_path / "state.json"
+        path.write_text("{ truncated")
+        assert main(["check-snapshot", str(path)]) == EXIT_SNAPSHOT
+        assert "snapshot error:" in capsys.readouterr().err
+
+    def test_snapshot_version_skew_exit_code(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "state.json"
+        path.write_text(json.dumps({"version": 99}))
+        assert main(["check-snapshot", str(path)]) == EXIT_SNAPSHOT
+
+    def test_generic_error_exit_code(self, capsys):
+        sql = "select l_orderkey from lineitem_1"
+        assert main(["explain", sql, "--index", "bogus"]) == EXIT_ERROR
+
+    def test_check_snapshot_happy_path(self, capsys, tmp_path):
+        from repro.persist import save_json, snapshot_tuner
+        from repro.core import ColtTuner
+        from repro.workload import build_catalog
+
+        path = tmp_path / "state.json"
+        save_json(path, snapshot_tuner(ColtTuner(build_catalog())))
+        assert main(["check-snapshot", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
+        assert "what-if budget" in out
 
 
 class TestAsciiBars:

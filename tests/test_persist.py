@@ -1,5 +1,6 @@
 """Tests for tuner state persistence."""
 
+import json
 import random
 
 import pytest
@@ -7,11 +8,14 @@ import pytest
 from repro.core import ColtConfig, ColtTuner
 from repro.persist import (
     SnapshotError,
+    checksum,
     load_json,
+    load_or_quarantine,
     restore_tuner,
     save_json,
     snapshot_tuner,
 )
+from repro.resilience import FaultInjector
 from repro.sql.ast import (
     ColumnExpr,
     CompareOp,
@@ -160,6 +164,131 @@ class TestValidation:
         tuner = _trained_tuner(small_catalog)
         snapshot = snapshot_tuner(tuner)
         snapshot["hot"].append(["events", "no_such_column"])
+        import copy
+
+        with pytest.raises(SnapshotError):
+            restore_tuner(copy.deepcopy(small_catalog), snapshot)
+
+
+class TestCrashSafety:
+    def test_save_is_atomic_no_temp_left_behind(self, small_catalog, tmp_path):
+        tuner = _trained_tuner(small_catalog)
+        path = tmp_path / "state.json"
+        save_json(path, snapshot_tuner(tuner))
+        save_json(path, snapshot_tuner(tuner))  # overwrite in place
+        assert [p.name for p in tmp_path.iterdir()] == ["state.json"]
+
+    def test_envelope_carries_matching_checksum(self, small_catalog, tmp_path):
+        tuner = _trained_tuner(small_catalog)
+        snapshot = snapshot_tuner(tuner)
+        path = tmp_path / "state.json"
+        save_json(path, snapshot)
+        envelope = json.loads(path.read_text())
+        assert envelope["format"] == "colt-snapshot"
+        assert envelope["checksum"] == checksum(snapshot)
+
+    def test_truncated_file_raises_snapshot_error(self, small_catalog, tmp_path):
+        tuner = _trained_tuner(small_catalog)
+        path = tmp_path / "state.json"
+        save_json(path, snapshot_tuner(tuner))
+        FaultInjector().corrupt_file(path, mode="truncate")
+        with pytest.raises(SnapshotError):
+            load_json(path)
+
+    def test_empty_file_raises_snapshot_error(self, small_catalog, tmp_path):
+        path = tmp_path / "state.json"
+        path.write_text("")
+        with pytest.raises(SnapshotError):
+            load_json(path)
+
+    def test_bad_checksum_raises_snapshot_error(self, small_catalog, tmp_path):
+        tuner = _trained_tuner(small_catalog)
+        snapshot = snapshot_tuner(tuner)
+        path = tmp_path / "state.json"
+        save_json(path, snapshot)
+        envelope = json.loads(path.read_text())
+        envelope["snapshot"]["whatif_budget"] = 999  # silent payload edit
+        path.write_text(json.dumps(envelope))
+        with pytest.raises(SnapshotError, match="checksum"):
+            load_json(path)
+
+    def test_missing_file_raises_snapshot_error(self, tmp_path):
+        with pytest.raises(SnapshotError):
+            load_json(tmp_path / "nope.json")
+
+    def test_non_object_json_raises_snapshot_error(self, tmp_path):
+        path = tmp_path / "state.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(SnapshotError):
+            load_json(path)
+
+    def test_legacy_bare_snapshot_still_loads(self, small_catalog, tmp_path):
+        import copy
+
+        tuner = _trained_tuner(small_catalog)
+        snapshot = snapshot_tuner(tuner)
+        path = tmp_path / "legacy.json"
+        path.write_text(json.dumps(snapshot))  # pre-envelope format
+        restored = restore_tuner(copy.deepcopy(small_catalog), load_json(path))
+        assert restored.materialized_set == tuner.materialized_set
+
+
+class TestQuarantine:
+    def test_corrupt_file_quarantined_and_none_returned(
+        self, small_catalog, tmp_path
+    ):
+        tuner = _trained_tuner(small_catalog)
+        path = tmp_path / "state.json"
+        save_json(path, snapshot_tuner(tuner))
+        FaultInjector().corrupt_file(path, mode="truncate")
+        assert load_or_quarantine(path) is None
+        assert not path.exists()
+        assert (tmp_path / "state.json.corrupt").exists()
+
+    def test_quarantine_names_do_not_collide(self, small_catalog, tmp_path):
+        tuner = _trained_tuner(small_catalog)
+        path = tmp_path / "state.json"
+        for _ in range(2):
+            save_json(path, snapshot_tuner(tuner))
+            FaultInjector().corrupt_file(path, mode="truncate")
+            assert load_or_quarantine(path) is None
+        assert (tmp_path / "state.json.corrupt").exists()
+        assert (tmp_path / "state.json.corrupt.1").exists()
+
+    def test_healthy_file_loads_normally(self, small_catalog, tmp_path):
+        tuner = _trained_tuner(small_catalog)
+        snapshot = snapshot_tuner(tuner)
+        path = tmp_path / "state.json"
+        save_json(path, snapshot)
+        assert load_or_quarantine(path) == snapshot
+        assert path.exists()
+
+    def test_missing_file_returns_none(self, tmp_path):
+        assert load_or_quarantine(tmp_path / "nope.json") is None
+
+
+class TestMalformedStructure:
+    def test_missing_keys_raise_snapshot_error(self, small_catalog):
+        with pytest.raises(SnapshotError):
+            restore_tuner(small_catalog, {"version": 1})
+
+    def test_non_dict_snapshot_rejected(self, small_catalog):
+        with pytest.raises(SnapshotError):
+            restore_tuner(small_catalog, ["not", "a", "dict"])
+
+    def test_bad_config_keys_raise_snapshot_error(self, small_catalog):
+        tuner = _trained_tuner(small_catalog)
+        snapshot = snapshot_tuner(tuner)
+        snapshot["config"]["no_such_option"] = True
+        import copy
+
+        with pytest.raises(SnapshotError):
+            restore_tuner(copy.deepcopy(small_catalog), snapshot)
+
+    def test_bad_history_values_raise_snapshot_error(self, small_catalog):
+        tuner = _trained_tuner(small_catalog)
+        snapshot = snapshot_tuner(tuner)
+        snapshot["histories"]["low"] = "oops"
         import copy
 
         with pytest.raises(SnapshotError):
