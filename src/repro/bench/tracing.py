@@ -10,7 +10,8 @@ the quickest way to *see* COLT hibernate, wake, and re-tune.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Sequence
+import json
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.core.colt import ColtTuner
 from repro.core.config import ColtConfig
@@ -62,6 +63,44 @@ class TunerTrace:
     def total_whatif(self) -> int:
         """Workload-wide what-if calls."""
         return sum(e.whatif_used for e in self.epochs)
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Serialize the trace to a JSON string.
+
+        The payload is self-describing (config included), so fleet
+        benchmarks can dump per-replica traces next to their
+        ``results/*.txt`` reports and tests can assert per-epoch
+        decisions machine-readably.
+        """
+        return json.dumps(
+            {
+                "epochs": [dataclasses.asdict(e) for e in self.epochs],
+                "config": dataclasses.asdict(self.config),
+            },
+            indent=indent,
+        )
+
+    @classmethod
+    def from_json(cls, data: Union[str, Dict]) -> "TunerTrace":
+        """Rebuild a trace from :meth:`to_json` output.
+
+        Args:
+            data: The JSON string (or the already-parsed dict).
+
+        Raises:
+            ValueError: if the payload is not a trace (missing keys or
+                malformed epochs).
+        """
+        if isinstance(data, str):
+            data = json.loads(data)
+        if not isinstance(data, dict) or "epochs" not in data or "config" not in data:
+            raise ValueError("not a serialized TunerTrace (missing keys)")
+        try:
+            epochs = [EpochTrace(**entry) for entry in data["epochs"]]
+            config = ColtConfig(**data["config"])
+        except TypeError as exc:
+            raise ValueError(f"malformed TunerTrace payload: {exc}") from exc
+        return cls(epochs=epochs, config=config)
 
     def render_timeline(self, cost_width: int = 24) -> str:
         """Render the run as a per-epoch text timeline."""

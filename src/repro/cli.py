@@ -10,6 +10,9 @@ Exposes the reproduction's experiments and a few interactive utilities::
     python -m repro explain "select ..."   # optimize a query against the
                                            #   paper catalog and show the plan
     python -m repro check-snapshot FILE    # validate a saved tuner snapshot
+    python -m repro fleet-run              # replicated tuning fleet behind a
+                                           #   workload-aware query router
+    python -m repro fleet-status DIR       # inspect a saved fleet snapshot
     python -m repro demo                   # 60-second COLT walkthrough
 
 Every experiment prints the same series the corresponding figure of the
@@ -124,6 +127,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ps.add_argument("path", help="path to a snapshot written by save_json")
 
+    pf = sub.add_parser(
+        "fleet-run",
+        help="run a replicated tuning fleet over a multi-client shifting workload",
+    )
+    pf.add_argument(
+        "--replicas", type=int, default=3, help="fleet size (and client count)"
+    )
+    pf.add_argument(
+        "--policy",
+        choices=("round-robin", "affinity", "client", "cost"),
+        default="affinity",
+        help="routing policy",
+    )
+    pf.add_argument("--seed", type=int, default=0, help="workload RNG seed")
+    pf.add_argument(
+        "--budget",
+        type=float,
+        default=DEFAULT_BUDGET_PAGES,
+        help="per-replica storage budget in pages",
+    )
+    pf.add_argument(
+        "--phase-length", type=int, default=100, help="queries per client phase"
+    )
+    pf.add_argument(
+        "--transition", type=int, default=20, help="phase transition length"
+    )
+    pf.add_argument(
+        "--fleet-epoch",
+        type=int,
+        default=30,
+        help="queries between fleet reorganizations",
+    )
+    pf.add_argument(
+        "--snapshot-dir",
+        default=None,
+        help="directory to save the fleet snapshot into after the run",
+    )
+
+    pg = sub.add_parser(
+        "fleet-status",
+        help="inspect a fleet snapshot directory written by fleet-run",
+    )
+    pg.add_argument("dir", help="fleet snapshot directory")
+
     sub.add_parser("demo", help="a 60-second COLT walkthrough")
     return parser
 
@@ -155,6 +202,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             _run_timeline(args)
         elif args.command == "check-snapshot":
             _run_check_snapshot(args)
+        elif args.command == "fleet-run":
+            _run_fleet(args)
+        elif args.command == "fleet-status":
+            _run_fleet_status(args)
         elif args.command == "demo":
             _run_demo()
     except (LexError, ParseError) as exc:
@@ -266,6 +317,87 @@ def _run_check_snapshot(args) -> None:
     print(f"  materialized: {len(tuner.materialized_set)} indexes")
     print(f"  hot:          {len(tuner.hot_set)} indexes")
     print(f"  what-if budget: {tuner.profiler.whatif_budget}")
+
+
+def _run_fleet(args) -> None:
+    from repro.core.config import ColtConfig
+    from repro.fleet import FleetCoordinator, save_fleet
+    from repro.workload import build_catalog, multi_client_workload, shifting_workload
+    from repro.workload.experiments import phase_distributions
+
+    catalog = build_catalog()
+    phases = phase_distributions()
+    # One client per replica, each shifting through its own pair of
+    # consecutive phases -- the §6.2 multi-user setting with enough
+    # cross-client divergence for routing to exploit.
+    clients = [
+        shifting_workload(
+            [phases[i % len(phases)], phases[(i + 1) % len(phases)]],
+            catalog,
+            phase_length=args.phase_length,
+            transition=args.transition,
+            seed=args.seed + i,
+        )
+        for i in range(args.replicas)
+    ]
+    merged = multi_client_workload(clients, seed=args.seed + 7)
+    fleet = FleetCoordinator(
+        build_catalog,
+        n_replicas=args.replicas,
+        config=ColtConfig(storage_budget_pages=args.budget),
+        policy=args.policy,
+        fleet_epoch_length=args.fleet_epoch,
+    )
+    run = fleet.run(merged)
+
+    print(f"workload: {merged.description}")
+    print(f"policy:   {run.policy} ({args.replicas} replicas)\n")
+    print(f"{'replica':>8} {'health':>9} {'queries':>8} {'|M|':>4} {'exec cost':>14}")
+    for replica in fleet.replicas:
+        print(
+            f"{replica.replica_id:>8} {replica.health.value:>9} "
+            f"{replica.stats.queries:>8} {len(replica.materialized_names):>4} "
+            f"{replica.stats.execution_cost:>14,.0f}"
+        )
+    drains = sorted({i for r in run.reorganizations for i in r.drained})
+    print(
+        f"\nfleet execution cost: {run.execution_cost:>14,.0f}\n"
+        f"fleet total cost:     {run.total_cost:>14,.0f}\n"
+        f"routing overhead:     {run.routing_overhead:>14,.0f}\n"
+        f"config divergence:    {fleet.configuration_divergence():>14.2f}\n"
+        f"reorganizations:      {len(run.reorganizations):>14}"
+        + (f" (drained: {drains})" if drains else "")
+    )
+    if args.snapshot_dir:
+        path = save_fleet(args.snapshot_dir, fleet)
+        print(f"\nfleet snapshot saved: {path}")
+
+
+def _run_fleet_status(args) -> None:
+    import pathlib
+
+    from repro.fleet import load_manifest
+    from repro.persist import checksum, load_json
+
+    root = pathlib.Path(args.dir)
+    manifest = load_manifest(root)
+    print(
+        f"{root}: fleet of {len(manifest['replicas'])} "
+        f"(policy {manifest['policy']}, "
+        f"{manifest['queries_routed']} queries routed)"
+    )
+    print(f"{'replica':>8} {'health':>9} {'queries':>8} {'|M|':>4}  snapshot")
+    for entry in sorted(manifest["replicas"], key=lambda e: e["replica_id"]):
+        try:
+            snap = load_json(root / entry["file"])
+            state = "OK" if checksum(snap) == entry["checksum"] else "MISMATCH"
+        except SnapshotError as exc:
+            state = f"CORRUPT ({exc})"
+        print(
+            f"{entry['replica_id']:>8} {entry['health']:>9} "
+            f"{entry['queries']:>8} {entry['materialized']:>4}  "
+            f"{entry['file']}: {state}"
+        )
 
 
 def _run_demo() -> None:

@@ -18,7 +18,7 @@ documented in DESIGN.md.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.engine.catalog import Catalog
 from repro.sql.ast import BetweenPredicate, ColumnExpr, Query

@@ -1,0 +1,64 @@
+"""Replicated tuning fleet: per-replica COLT tuners behind a query router.
+
+The paper tunes a single server; this package is the scale-out step.  A
+fleet runs N independent :class:`~repro.fleet.replica.TunerReplica`
+instances -- each with its own catalog, storage budget, and circuit
+breaker -- behind a workload-aware query router.  Routing the shifting
+multi-client stream by cluster affinity (or by cheap cost probes) lets
+each replica's materialized set *specialize* on its slice of the
+workload, which beats both a single shared tuner and blind round-robin
+on total execution cost.
+
+Components:
+
+* ``replica``     -- one tuner + catalog + health state.
+* ``router``      -- round-robin, affinity, client and cost-based
+  routing policies with a self-regulating probe budget.
+* ``coordinator`` -- epoch-aligned fleet reorganization: drains
+  breaker-open replicas, restores recovered ones, and rebalances
+  affinity routes.
+* ``snapshots``   -- atomic per-replica + fleet-manifest persistence.
+
+See ``docs/FLEET.md`` for the design discussion.
+"""
+
+from repro.fleet.coordinator import (
+    FleetCoordinator,
+    FleetOutcome,
+    FleetReorganizationResult,
+    FleetRun,
+)
+from repro.fleet.replica import ReplicaHealth, TunerReplica
+from repro.fleet.router import (
+    AffinityRouter,
+    CostBasedRouter,
+    RoundRobinRouter,
+    Router,
+    make_router,
+)
+from repro.fleet.snapshots import (
+    FLEET_MANIFEST,
+    load_manifest,
+    restore_fleet,
+    save_fleet,
+    snapshot_fleet,
+)
+
+__all__ = [
+    "AffinityRouter",
+    "CostBasedRouter",
+    "FLEET_MANIFEST",
+    "FleetCoordinator",
+    "FleetOutcome",
+    "FleetReorganizationResult",
+    "FleetRun",
+    "ReplicaHealth",
+    "RoundRobinRouter",
+    "Router",
+    "TunerReplica",
+    "load_manifest",
+    "make_router",
+    "restore_fleet",
+    "save_fleet",
+    "snapshot_fleet",
+]

@@ -1,0 +1,412 @@
+"""The fleet coordinator: routing, epoch-aligned reorganization, drains.
+
+The coordinator owns N :class:`~repro.fleet.replica.TunerReplica`
+instances and a :class:`~repro.fleet.router.Router`.  Per arriving
+query it routes, processes, and charges any routing probes as overhead;
+every ``fleet_epoch_length`` queries it runs a *fleet reorganization*,
+the scale-out analogue of COLT's per-epoch self-organization:
+
+* replicas whose profiling breaker tripped OPEN are **drained** --
+  removed from routing with their sticky assignments redistributed, so
+  no arriving query is ever dropped;
+* recovered replicas (breaker HALF_OPEN after cooldown, then CLOSED)
+  are **restored** to the rotation;
+* the cost router's probe budget is re-granted (self-regulating, like
+  ``#WI_lim``);
+* a configuration-divergence measure over the replicas' materialized
+  sets is reported, making specialization observable.
+
+Each boundary yields a :class:`FleetReorganizationResult`, the fleet's
+ledger record mirroring the single-tuner
+:class:`~repro.core.self_organizer.ReorganizationResult`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List, Optional, Sequence, Union
+
+from repro.core.colt import QueryOutcome
+from repro.core.config import ColtConfig
+from repro.engine.catalog import Catalog
+from repro.fleet.replica import ReplicaHealth, ReplicaStats, TunerReplica
+from repro.fleet.router import (
+    DEFAULT_PROBE_BUDGET,
+    AffinityRouter,
+    CostBasedRouter,
+    Router,
+    make_router,
+)
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.faults import FaultInjector
+from repro.sql.ast import Query
+from repro.workload.phases import Workload
+
+CatalogFactory = Callable[[], Catalog]
+
+
+@dataclasses.dataclass
+class ReplicaStatus:
+    """One replica's line in a fleet reorganization report.
+
+    Attributes:
+        replica_id: The replica.
+        health: Health value (``"healthy"``/``"degraded"``/``"drained"``).
+        breaker_state: The underlying breaker state.
+        queries: Queries processed so far.
+        materialized: Number of materialized indexes.
+    """
+
+    replica_id: int
+    health: str
+    breaker_state: str
+    queries: int
+    materialized: int
+
+
+@dataclasses.dataclass
+class FleetReorganizationResult:
+    """Decisions taken at one fleet epoch boundary.
+
+    Attributes:
+        epoch: 0-based fleet epoch number.
+        drained: Replicas newly drained at this boundary.
+        restored: Replicas newly restored to the rotation.
+        drained_total: All replicas excluded from routing after this
+            boundary.
+        moved_assignments: Sticky affinity keys redistributed away from
+            drained replicas.
+        rebalanced: Sticky affinity keys moved toward starved replicas
+            (e.g. a just-restored replica that owns no assignments).
+        probe_budget: The cost router's probe budget granted for the
+            next fleet epoch (0 for probe-free policies).
+        divergence: Mean pairwise Jaccard *distance* between the
+            replicas' materialized sets -- 0 when every replica holds
+            the same indexes, 1 when all sets are disjoint.
+        replicas: Per-replica status lines.
+    """
+
+    epoch: int
+    drained: List[int]
+    restored: List[int]
+    drained_total: List[int]
+    moved_assignments: int
+    rebalanced: int
+    probe_budget: int
+    divergence: float
+    replicas: List[ReplicaStatus]
+
+
+@dataclasses.dataclass
+class FleetOutcome:
+    """Ledger record for one query routed through the fleet.
+
+    Attributes:
+        index: 0-based position in the fleet's arrival stream.
+        replica_id: The replica that served the query.
+        outcome: The replica tuner's own ledger record.
+        routing_overhead: Cost units charged for routing probes spent on
+            this query (cost policy only).
+        reorganization: The fleet reorganization this query's arrival
+            closed, if any.
+    """
+
+    index: int
+    replica_id: int
+    outcome: QueryOutcome
+    routing_overhead: float = 0.0
+    reorganization: Optional[FleetReorganizationResult] = None
+
+    @property
+    def total_cost(self) -> float:
+        """The query's replica-side total cost plus routing overhead."""
+        return self.outcome.total_cost + self.routing_overhead
+
+
+@dataclasses.dataclass
+class FleetRun:
+    """Complete ledger of one fleet simulation.
+
+    Attributes:
+        outcomes: Per-query fleet records, in arrival order.
+        reorganizations: Every fleet epoch boundary's decisions.
+        replica_stats: Per-replica running totals at the end of the run.
+        policy: The routing policy name.
+    """
+
+    outcomes: List[FleetOutcome]
+    reorganizations: List[FleetReorganizationResult]
+    replica_stats: List[ReplicaStats]
+    policy: str
+
+    @property
+    def execution_cost(self) -> float:
+        """Workload-wide execution cost (the figure-of-merit compared
+        across routing policies)."""
+        return sum(o.outcome.execution_cost for o in self.outcomes)
+
+    @property
+    def routing_overhead(self) -> float:
+        """Workload-wide cost charged for routing probes."""
+        return sum(o.routing_overhead for o in self.outcomes)
+
+    @property
+    def total_cost(self) -> float:
+        """Execution plus all tuning and routing overheads."""
+        return sum(o.total_cost for o in self.outcomes)
+
+    @property
+    def queries_per_replica(self) -> List[int]:
+        """How many queries each replica served."""
+        return [s.queries for s in self.replica_stats]
+
+    @property
+    def failed_queries(self) -> int:
+        """Queries recorded as failed (skip-mode error handling)."""
+        return sum(s.failed for s in self.replica_stats)
+
+
+class FleetCoordinator:
+    """Runs a replicated tuning fleet behind one routing front door.
+
+    Args:
+        catalog_factory: Zero-argument callable producing a fresh,
+            structurally identical catalog per replica (plus one for
+            the router's key computation).
+        n_replicas: Fleet size.
+        config: Per-replica tuning parameters; ``storage_budget_pages``
+            is each replica's *own* budget.
+        policy: Routing policy name (see :func:`~repro.fleet.router.
+            make_router`).
+        fleet_epoch_length: Queries between fleet reorganizations.
+        probe_budget: Per-epoch probe budget for cost-based routing.
+        breakers: Optional per-replica circuit breakers (tests inject
+            tight thresholds).
+        fault_injectors: Optional per-replica fault injectors; entries
+            may be None.
+    """
+
+    def __init__(
+        self,
+        catalog_factory: CatalogFactory,
+        n_replicas: int = 3,
+        config: Optional[ColtConfig] = None,
+        policy: str = "affinity",
+        fleet_epoch_length: int = 50,
+        probe_budget: int = DEFAULT_PROBE_BUDGET,
+        breakers: Optional[Sequence[Optional[CircuitBreaker]]] = None,
+        fault_injectors: Optional[Sequence[Optional[FaultInjector]]] = None,
+    ) -> None:
+        if n_replicas < 1:
+            raise ValueError("n_replicas must be positive")
+        if fleet_epoch_length < 1:
+            raise ValueError("fleet_epoch_length must be positive")
+        self.config = config or ColtConfig()
+        self.fleet_epoch_length = fleet_epoch_length
+        self.replicas: List[TunerReplica] = []
+        for i in range(n_replicas):
+            breaker = breakers[i] if breakers else None
+            injector = fault_injectors[i] if fault_injectors else None
+            self.replicas.append(
+                TunerReplica(
+                    i,
+                    catalog_factory(),
+                    self.config,
+                    breaker=breaker,
+                    fault_injector=injector,
+                )
+            )
+        self._routing_catalog = catalog_factory()
+        self.router: Router = make_router(
+            policy, n_replicas, self._routing_catalog, probe_budget=probe_budget
+        )
+        if isinstance(self.router, CostBasedRouter):
+            self.router.bind(self.replicas)
+        self.queries_routed = 0
+        self.reorganizations: List[FleetReorganizationResult] = []
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def adopt(
+        cls,
+        replicas: Sequence[TunerReplica],
+        routing_catalog: Catalog,
+        policy: str = "affinity",
+        fleet_epoch_length: int = 50,
+        probe_budget: int = DEFAULT_PROBE_BUDGET,
+    ) -> "FleetCoordinator":
+        """Build a coordinator around pre-existing replicas.
+
+        Used when restoring a fleet from snapshots: the replicas (and
+        their tuners) already exist, so no catalogs are constructed.
+        """
+        coordinator = cls.__new__(cls)
+        coordinator.config = replicas[0].tuner.config
+        coordinator.fleet_epoch_length = fleet_epoch_length
+        coordinator.replicas = list(replicas)
+        coordinator._routing_catalog = routing_catalog
+        coordinator.router = make_router(
+            policy, len(replicas), routing_catalog, probe_budget=probe_budget
+        )
+        if isinstance(coordinator.router, CostBasedRouter):
+            coordinator.router.bind(coordinator.replicas)
+        coordinator.queries_routed = 0
+        coordinator.reorganizations = []
+        return coordinator
+
+    # ------------------------------------------------------------------
+    @property
+    def policy(self) -> str:
+        """The routing policy name."""
+        return self.router.name
+
+    def process_query(
+        self,
+        query: Query,
+        client_id: Optional[int] = None,
+        on_error: str = "raise",
+    ) -> FleetOutcome:
+        """Route and process one arriving query.
+
+        Args:
+            query: The bound query.
+            client_id: Stable submitting-client id, when the workload
+                carries one (used by client-affinity routing).
+            on_error: ``"raise"`` propagates replica failures;
+                ``"skip"`` records them as failed outcomes and keeps
+                the fleet serving.
+
+        Returns:
+            The fleet ledger record; when this arrival closes a fleet
+            epoch it carries the boundary's reorganization report.
+        """
+        route = self.router.route(query, client_id)
+        replica = self.replicas[route.replica_id]
+        outcome = replica.process(query, on_error=on_error)
+        # Drained replicas see no queries; advance their breaker clocks
+        # so cooldown (measured in arrivals, as everywhere) elapses.
+        for drained_id in self.router.drained:
+            if drained_id != route.replica_id:
+                self.replicas[drained_id].idle_tick()
+
+        self.queries_routed += 1
+        reorg: Optional[FleetReorganizationResult] = None
+        if self.queries_routed % self.fleet_epoch_length == 0:
+            reorg = self.reorganize()
+        return FleetOutcome(
+            index=self.queries_routed - 1,
+            replica_id=route.replica_id,
+            outcome=outcome,
+            routing_overhead=route.probes * self.config.whatif_call_cost,
+            reorganization=reorg,
+        )
+
+    def run(
+        self,
+        workload: Union[Workload, Sequence[Query]],
+        client_ids: Optional[Sequence[Optional[int]]] = None,
+        on_error: str = "raise",
+    ) -> FleetRun:
+        """Process a whole workload, returning the complete fleet ledger.
+
+        Args:
+            workload: A :class:`~repro.workload.phases.Workload` (its
+                ``client_ids`` tags are used automatically) or a bare
+                query sequence.
+            client_ids: Explicit per-query client tags overriding the
+                workload's own.
+            on_error: Forwarded to :meth:`process_query`.
+        """
+        if isinstance(workload, Workload):
+            queries: Sequence[Query] = workload.queries
+            if client_ids is None:
+                client_ids = workload.client_ids
+        else:
+            queries = workload
+        outcomes = [
+            self.process_query(
+                query,
+                client_id=client_ids[i] if client_ids is not None else None,
+                on_error=on_error,
+            )
+            for i, query in enumerate(queries)
+        ]
+        return FleetRun(
+            outcomes=outcomes,
+            reorganizations=list(self.reorganizations),
+            replica_stats=[r.stats for r in self.replicas],
+            policy=self.policy,
+        )
+
+    # ------------------------------------------------------------------
+    def reorganize(self) -> FleetReorganizationResult:
+        """Run one fleet reorganization (drain/restore/rebalance).
+
+        Called automatically at fleet epoch boundaries; callable
+        directly by tests and by operators reacting to an incident.
+        """
+        previously = set(self.router.drained)
+        unhealthy = {
+            r.replica_id for r in self.replicas if r.health is ReplicaHealth.DRAINED
+        }
+        drained = sorted(unhealthy - previously)
+        restored = sorted(previously - unhealthy)
+        self.router.set_drained(sorted(unhealthy))
+
+        moved = 0
+        rebalanced = 0
+        if isinstance(self.router, AffinityRouter):
+            if drained:
+                moved = self.router.reassign_from(drained)
+            rebalanced = self.router.rebalance()
+        self.router.roll_epoch()
+        probe_budget = (
+            self.router.probe_budget
+            if isinstance(self.router, CostBasedRouter)
+            else 0
+        )
+
+        result = FleetReorganizationResult(
+            epoch=len(self.reorganizations),
+            drained=drained,
+            restored=restored,
+            drained_total=sorted(unhealthy),
+            moved_assignments=moved,
+            rebalanced=rebalanced,
+            probe_budget=probe_budget,
+            divergence=self.configuration_divergence(),
+            replicas=[
+                ReplicaStatus(
+                    replica_id=r.replica_id,
+                    health=r.health.value,
+                    breaker_state=r.breaker.state.value,
+                    queries=r.stats.queries,
+                    materialized=len(r.materialized_names),
+                )
+                for r in self.replicas
+            ],
+        )
+        self.reorganizations.append(result)
+        return result
+
+    def configuration_divergence(self) -> float:
+        """Mean pairwise Jaccard distance between materialized sets.
+
+        0.0 means every replica materialized the same indexes (no
+        specialization -- what round-robin converges to); values toward
+        1.0 mean the replicas partitioned the index space.
+        """
+        sets = [frozenset(r.materialized_names) for r in self.replicas]
+        pairs = [
+            (a, b) for i, a in enumerate(sets) for b in sets[i + 1 :]
+        ]
+        if not pairs:
+            return 0.0
+        distances = []
+        for a, b in pairs:
+            union = a | b
+            if not union:
+                distances.append(0.0)
+            else:
+                distances.append(1.0 - len(a & b) / len(union))
+        return sum(distances) / len(distances)

@@ -1,0 +1,191 @@
+"""One fleet member: a COLT tuner wrapped with identity and health.
+
+A :class:`TunerReplica` owns its catalog and
+:class:`~repro.core.colt.ColtTuner` (replicas must evolve independent
+materialized sets), carries a per-replica storage budget, and derives a
+fleet-facing health state from the tuner's existing profiling circuit
+breaker (``repro.resilience``): a breaker that trips OPEN marks the
+replica DRAINED so the router stops sending it traffic, HALF_OPEN maps
+to DEGRADED (traffic allowed, profiling trickles), and CLOSED is
+HEALTHY.
+
+The replica also keeps the per-epoch :class:`~repro.bench.tracing.
+EpochTrace` ledger so fleet benchmarks can dump machine-readable traces
+of every replica's decisions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import List, Optional
+
+from repro.bench.tracing import EpochTrace, TunerTrace
+from repro.core.colt import ColtTuner, QueryOutcome
+from repro.core.config import ColtConfig
+from repro.engine.catalog import Catalog
+from repro.resilience.breaker import BreakerState, CircuitBreaker
+from repro.resilience.faults import FaultInjector
+from repro.sql.ast import Query
+
+
+class ReplicaHealth(enum.Enum):
+    """Fleet-facing health state, derived from the profiling breaker."""
+
+    HEALTHY = "healthy"
+    DEGRADED = "degraded"
+    DRAINED = "drained"
+
+    @classmethod
+    def from_breaker(cls, state: BreakerState) -> "ReplicaHealth":
+        """Map a breaker state onto the fleet's health vocabulary."""
+        if state is BreakerState.OPEN:
+            return cls.DRAINED
+        if state is BreakerState.HALF_OPEN:
+            return cls.DEGRADED
+        return cls.HEALTHY
+
+
+@dataclasses.dataclass
+class ReplicaStats:
+    """Running totals for one replica's slice of the fleet stream.
+
+    Attributes:
+        queries: Queries processed by this replica.
+        execution_cost: Sum of execution costs of those queries.
+        total_cost: Execution plus tuning overheads (what-if, builds).
+        failed: Queries that errored and were recorded in skip mode.
+    """
+
+    queries: int = 0
+    execution_cost: float = 0.0
+    total_cost: float = 0.0
+    failed: int = 0
+
+
+class TunerReplica:
+    """One independently tuned replica of the database.
+
+    Args:
+        replica_id: Dense fleet-wide id (0-based).
+        catalog: This replica's private catalog.
+        config: Tuning parameters; ``storage_budget_pages`` is the
+            *per-replica* budget.
+        breaker: Optional pre-built circuit breaker (tests inject one
+            with tight thresholds); defaults to the tuner's standard.
+        fault_injector: Optional fault injector wired into this
+            replica's tuner only (chaos tests drain a single replica).
+        tuner: Pre-built tuner to adopt instead of constructing one
+            (used when restoring a fleet from snapshots).
+    """
+
+    def __init__(
+        self,
+        replica_id: int,
+        catalog: Catalog,
+        config: Optional[ColtConfig] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        fault_injector: Optional[FaultInjector] = None,
+        tuner: Optional[ColtTuner] = None,
+    ) -> None:
+        self.replica_id = replica_id
+        self.catalog = catalog
+        if tuner is None:
+            tuner = ColtTuner(
+                catalog,
+                config,
+                breaker=breaker,
+                fault_injector=fault_injector,
+            )
+        self.tuner = tuner
+        self.stats = ReplicaStats()
+        self.config_version = 0
+        self._epochs: List[EpochTrace] = []
+        self._epoch_exec = 0.0
+        self._epoch_total = 0.0
+        self._epoch_whatif = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def health(self) -> ReplicaHealth:
+        """Current health, read off the profiling circuit breaker."""
+        return ReplicaHealth.from_breaker(self.tuner.profiler.breaker.state)
+
+    @property
+    def breaker(self) -> CircuitBreaker:
+        """The replica's profiling circuit breaker."""
+        return self.tuner.profiler.breaker
+
+    @property
+    def materialized_names(self) -> List[str]:
+        """Names of the replica's currently materialized indexes."""
+        return [ix.name for ix in self.tuner.materialized_set]
+
+    # ------------------------------------------------------------------
+    def process(self, query: Query, on_error: str = "raise") -> QueryOutcome:
+        """Process one routed query through this replica's tuner.
+
+        Args:
+            query: The bound query.
+            on_error: Forwarded to :meth:`~repro.core.colt.ColtTuner.run`
+                -- ``"skip"`` records a failed query as a zero-cost
+                outcome carrying its exception instead of raising.
+        """
+        outcome = self.tuner.run([query], on_error=on_error)[0]
+        self._account(outcome)
+        return outcome
+
+    def probe_cost(self, query: Query) -> float:
+        """Cheap what-if probe: this replica's cost for the query.
+
+        Optimizes under the replica's *current* materialized set without
+        touching tuning state -- the router's cost signal.  The router
+        charges the probe against its per-epoch budget; this method only
+        measures.
+        """
+        return self.tuner.optimizer.optimize(query).cost
+
+    def idle_tick(self) -> None:
+        """Advance the breaker clock while this replica receives no traffic.
+
+        A drained replica sees no queries, so its breaker would never
+        reach the HALF_OPEN cooldown on its own; the coordinator ticks
+        it once per fleet arrival instead (queries as clock, as
+        everywhere else in the simulation).
+        """
+        self.tuner.profiler.breaker.tick()
+
+    # ------------------------------------------------------------------
+    def trace(self) -> TunerTrace:
+        """The replica's per-epoch decision trace so far."""
+        return TunerTrace(epochs=list(self._epochs), config=self.tuner.config)
+
+    def _account(self, outcome: QueryOutcome) -> None:
+        self.stats.queries += 1
+        self.stats.execution_cost += outcome.execution_cost
+        self.stats.total_cost += outcome.total_cost
+        if outcome.failed:
+            self.stats.failed += 1
+        self._epoch_exec += outcome.execution_cost
+        self._epoch_total += outcome.total_cost
+        self._epoch_whatif += outcome.whatif_calls
+        if outcome.epoch_ended and outcome.reorganization is not None:
+            reorg = outcome.reorganization
+            if reorg.materialize or reorg.drop:
+                self.config_version += 1
+            self._epochs.append(
+                EpochTrace(
+                    epoch=len(self._epochs),
+                    execution_cost=self._epoch_exec,
+                    total_cost=self._epoch_total,
+                    whatif_used=self._epoch_whatif,
+                    budget_granted=reorg.whatif_budget,
+                    improvement_ratio=reorg.improvement_ratio,
+                    materialized=self.materialized_names,
+                    added=[ix.name for ix in reorg.materialize],
+                    dropped=[ix.name for ix in reorg.drop],
+                    hot=[ix.name for ix in reorg.hot],
+                )
+            )
+            self._epoch_exec = self._epoch_total = 0.0
+            self._epoch_whatif = 0

@@ -63,3 +63,50 @@ class TestRendering:
 
         empty = TunerTrace(epochs=[], config=ColtConfig())
         assert "empty" in empty.render_timeline()
+
+
+class TestJsonRoundtrip:
+    def test_roundtrip_preserves_epochs_and_config(self, trace):
+        from repro.bench.tracing import TunerTrace
+
+        restored = TunerTrace.from_json(trace.to_json())
+        assert restored.epochs == trace.epochs
+        assert restored.config == trace.config
+        assert restored.total_cost == pytest.approx(trace.total_cost)
+
+    def test_accepts_parsed_dict(self, trace):
+        import json
+
+        from repro.bench.tracing import TunerTrace
+
+        payload = json.loads(trace.to_json())
+        restored = TunerTrace.from_json(payload)
+        assert len(restored.epochs) == len(trace.epochs)
+
+    def test_indent_produces_readable_output(self, trace):
+        assert trace.to_json(indent=2).count("\n") > len(trace.epochs)
+
+    def test_empty_trace_roundtrips(self):
+        from repro.bench.tracing import TunerTrace
+
+        empty = TunerTrace(epochs=[], config=ColtConfig())
+        restored = TunerTrace.from_json(empty.to_json())
+        assert restored.epochs == []
+
+    def test_missing_keys_rejected(self):
+        from repro.bench.tracing import TunerTrace
+
+        with pytest.raises(ValueError, match="missing keys"):
+            TunerTrace.from_json('{"epochs": []}')
+        with pytest.raises(ValueError, match="missing keys"):
+            TunerTrace.from_json("[1, 2, 3]")
+
+    def test_malformed_epoch_rejected(self, trace):
+        import json
+
+        from repro.bench.tracing import TunerTrace
+
+        payload = json.loads(trace.to_json())
+        payload["epochs"][0].pop("execution_cost")
+        with pytest.raises(ValueError, match="malformed"):
+            TunerTrace.from_json(payload)

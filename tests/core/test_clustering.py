@@ -1,7 +1,5 @@
 """Unit tests for on-line query clustering."""
 
-import pytest
-
 from repro.core.clustering import ClusterStore, cluster_key
 from repro.sql.binder import bind_query
 from repro.sql.parser import parse_query

@@ -1,9 +1,6 @@
 """Unit tests for the materialization scheduler."""
 
-import pytest
-
 from repro.core.scheduler import Scheduler, SchedulingPolicy
-from repro.engine.storage import PhysicalStore
 
 
 class TestImmediatePolicy:

@@ -1,7 +1,5 @@
 """Unit tests for the Self-Organizer (reorganization + re-budgeting)."""
 
-import pytest
-
 from repro.core.config import ColtConfig
 from repro.core.profiler import EpochIndexBenefit, Profiler
 from repro.core.self_organizer import SelfOrganizer, two_means_split

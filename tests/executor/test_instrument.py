@@ -6,8 +6,6 @@ orders them -- the property that makes a cost-model simulation a
 meaningful stand-in for wall-clock measurements (see DESIGN.md §2).
 """
 
-import pytest
-
 from repro.executor import CountingStore, execute
 from repro.optimizer.optimizer import Optimizer, PlanCache
 from repro.sql.binder import bind_query

@@ -1,7 +1,5 @@
 """Direct unit tests for executor join internals."""
 
-import pytest
-
 from repro.executor.joins import _split_keys, hash_join, nested_loop
 from repro.optimizer.plan import HashJoinNode, NestedLoopNode, SeqScanNode
 from repro.sql.ast import ColumnExpr, JoinPredicate

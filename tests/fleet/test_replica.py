@@ -1,0 +1,110 @@
+"""Tests for the fleet replica wrapper."""
+
+import pytest
+
+from repro.core.config import ColtConfig
+from repro.fleet.replica import ReplicaHealth, TunerReplica
+from repro.resilience.breaker import BreakerState, CircuitBreaker
+
+from tests.fleet.workloads import bad_query, build_small_catalog, eq_query
+
+
+def make_replica(replica_id=0, breaker=None, **config_kwargs):
+    config_kwargs.setdefault("storage_budget_pages", 6000.0)
+    config_kwargs.setdefault("min_history_epochs", 2)
+    return TunerReplica(
+        replica_id,
+        build_small_catalog(),
+        ColtConfig(**config_kwargs),
+        breaker=breaker,
+    )
+
+
+class TestHealth:
+    def test_fresh_replica_is_healthy(self):
+        assert make_replica().health is ReplicaHealth.HEALTHY
+
+    def test_open_breaker_means_drained(self):
+        breaker = CircuitBreaker(failure_threshold=1)
+        replica = make_replica(breaker=breaker)
+        breaker.record_failure()
+        assert replica.breaker.state is BreakerState.OPEN
+        assert replica.health is ReplicaHealth.DRAINED
+
+    def test_half_open_breaker_means_degraded(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_ticks=2)
+        replica = make_replica(breaker=breaker)
+        breaker.record_failure()
+        replica.idle_tick()
+        replica.idle_tick()
+        assert replica.breaker.state is BreakerState.HALF_OPEN
+        assert replica.health is ReplicaHealth.DEGRADED
+
+    @pytest.mark.parametrize(
+        "state,health",
+        [
+            (BreakerState.CLOSED, ReplicaHealth.HEALTHY),
+            (BreakerState.HALF_OPEN, ReplicaHealth.DEGRADED),
+            (BreakerState.OPEN, ReplicaHealth.DRAINED),
+        ],
+    )
+    def test_mapping_is_total(self, state, health):
+        assert ReplicaHealth.from_breaker(state) is health
+
+
+class TestProcessing:
+    def test_stats_accumulate(self):
+        replica = make_replica()
+        for i in range(5):
+            outcome = replica.process(eq_query(i + 1))
+        assert replica.stats.queries == 5
+        assert replica.stats.execution_cost > 0
+        assert replica.stats.total_cost >= replica.stats.execution_cost
+        assert outcome.index == 4
+
+    def test_skip_mode_records_failures(self):
+        replica = make_replica()
+        outcome = replica.process(bad_query(), on_error="skip")
+        assert outcome.failed
+        assert replica.stats.failed == 1
+        assert replica.stats.queries == 1
+
+    def test_trace_grows_one_entry_per_epoch(self):
+        replica = make_replica(epoch_length=5)
+        for i in range(17):
+            replica.process(eq_query(i + 1))
+        trace = replica.trace()
+        assert len(trace.epochs) == 3
+        assert [e.epoch for e in trace.epochs] == [0, 1, 2]
+        # Per-epoch costs partition the running totals (last partial
+        # epoch still open).
+        assert sum(e.total_cost for e in trace.epochs) <= replica.stats.total_cost
+
+    def test_config_version_bumps_on_materialization(self):
+        replica = make_replica(epoch_length=5)
+        assert replica.config_version == 0
+        for i in range(60):
+            replica.process(eq_query(i + 1))
+        assert replica.materialized_names  # it specialized
+        assert replica.config_version >= 1
+
+
+class TestProbe:
+    def test_probe_cost_is_side_effect_free(self):
+        replica = make_replica()
+        replica.process(eq_query(1))
+        before_seen = replica.tuner.queries_seen
+        before_calls = replica.tuner.whatif.call_count
+        cost = replica.probe_cost(eq_query(2))
+        assert cost > 0
+        assert replica.tuner.queries_seen == before_seen
+        assert replica.tuner.whatif.call_count == before_calls
+        assert replica.stats.queries == 1
+
+    def test_probe_cost_reflects_materialized_indexes(self):
+        replica = make_replica()
+        query = eq_query(7)
+        cold = replica.probe_cost(query)
+        ix = replica.catalog.index_for("events", "user_id")
+        replica.catalog.materialize_index(ix)
+        assert replica.probe_cost(query) < cold

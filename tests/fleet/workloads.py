@@ -1,0 +1,118 @@
+"""Shared helpers for fleet tests: a small catalog factory and queries.
+
+The catalog mirrors ``tests/conftest.py``'s ``small_catalog`` (a 1M-row
+fact table plus a 10k-row dimension), but as a *factory*: every fleet
+replica must own a private, structurally identical catalog.
+"""
+
+from __future__ import annotations
+
+from repro.engine.catalog import Catalog, ColumnDef, TableDef
+from repro.engine.datatypes import DataType
+from repro.engine.stats import ColumnStats
+from repro.sql.ast import (
+    BetweenPredicate,
+    ColumnExpr,
+    CompareOp,
+    ComparisonPredicate,
+    Query,
+    SelectItem,
+)
+
+
+def build_small_catalog() -> Catalog:
+    """A fresh events/users catalog with paper-style statistics."""
+    catalog = Catalog()
+    catalog.add_table(
+        TableDef(
+            "events",
+            [
+                ColumnDef("user_id", DataType.INT),
+                ColumnDef("amount", DataType.FLOAT),
+                ColumnDef("day", DataType.DATE),
+                ColumnDef("kind", DataType.TEXT),
+            ],
+            row_count=1_000_000,
+        )
+    )
+    catalog.add_table(
+        TableDef(
+            "users",
+            [
+                ColumnDef("user_id", DataType.INT),
+                ColumnDef("score", DataType.INT),
+            ],
+            row_count=10_000,
+        )
+    )
+    catalog.set_stats(
+        "events",
+        "user_id",
+        ColumnStats(n_distinct=10_000, min_value=1, max_value=10_000),
+    )
+    catalog.set_stats(
+        "events",
+        "amount",
+        ColumnStats(n_distinct=1_000_000, min_value=0.0, max_value=1000.0),
+    )
+    catalog.set_stats(
+        "events",
+        "day",
+        ColumnStats(n_distinct=2000, min_value=8000, max_value=9999, correlation=0.9),
+    )
+    catalog.set_stats(
+        "events",
+        "kind",
+        ColumnStats(n_distinct=4, min_value="click", max_value="view"),
+    )
+    catalog.set_stats(
+        "users",
+        "user_id",
+        ColumnStats(n_distinct=10_000, min_value=1, max_value=10_000, correlation=1.0),
+    )
+    catalog.set_stats(
+        "users",
+        "score",
+        ColumnStats(n_distinct=100, min_value=0, max_value=99),
+    )
+    return catalog
+
+
+def eq_query(value: int) -> Query:
+    """A selective single-table query on events.user_id."""
+    return Query(
+        tables=["events"],
+        select=[SelectItem(expr=ColumnExpr("amount", "events"))],
+        filters=[
+            ComparisonPredicate(ColumnExpr("user_id", "events"), CompareOp.EQ, value)
+        ],
+    )
+
+
+def day_query(lo: int) -> Query:
+    """A range query on events.day (a different cluster than eq_query)."""
+    return Query(
+        tables=["events"],
+        select=[SelectItem(expr=ColumnExpr("amount", "events"))],
+        filters=[BetweenPredicate(ColumnExpr("day", "events"), lo, lo + 19)],
+    )
+
+
+def score_query(value: int) -> Query:
+    """A selective query on users.score (a third cluster/table)."""
+    return Query(
+        tables=["users"],
+        select=[SelectItem(expr=ColumnExpr("user_id", "users"))],
+        filters=[
+            ComparisonPredicate(ColumnExpr("score", "users"), CompareOp.EQ, value)
+        ],
+    )
+
+
+def bad_query() -> Query:
+    """A query over a table no catalog has (forces processing errors)."""
+    return Query(
+        tables=["no_such_table"],
+        select=[SelectItem(expr=ColumnExpr("x", "no_such_table"))],
+        filters=[],
+    )

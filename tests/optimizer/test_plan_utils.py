@@ -1,7 +1,5 @@
 """Unit tests for plan-tree utilities."""
 
-import pytest
-
 from repro.engine.datatypes import DataType
 from repro.engine.index import IndexDef
 from repro.optimizer.plan import (

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.optimizer.optimizer import Optimizer, PlanCache
+from repro.optimizer.optimizer import Optimizer
 from repro.optimizer.whatif import WhatIfOptimizer
 from repro.sql.binder import bind_query
 from repro.sql.parser import parse_query

@@ -1,0 +1,125 @@
+"""Contract tests for :class:`CircuitBreaker` as an external consumer.
+
+The fleet layer (``repro.fleet``) reads breaker state from outside the
+profiler: it maps states to replica health, drives the clock with
+``tick()`` for replicas that receive no traffic, and expects the
+transition log to tell the full story.  These tests pin the behaviour
+that external readers depend on -- the full
+closed -> open -> half-open -> closed cycle as observed step by step.
+"""
+
+from repro.fleet.replica import ReplicaHealth
+from repro.resilience.breaker import BreakerState, CircuitBreaker
+
+
+def make_breaker(**kwargs):
+    kwargs.setdefault("failure_threshold", 2)
+    kwargs.setdefault("cooldown_ticks", 3)
+    kwargs.setdefault("recovery_threshold", 2)
+    return CircuitBreaker(**kwargs)
+
+
+class TestFullCycle:
+    def test_closed_to_open_to_half_open_to_closed(self):
+        breaker = make_breaker()
+        # CLOSED: probing allowed, failures below threshold don't trip.
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allows_probes()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+        # Threshold reached: trip OPEN, probing suspended.
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allows_probes()
+        # Cooldown measured in ticks; one short of it stays OPEN.
+        breaker.tick()
+        breaker.tick()
+        assert breaker.state is BreakerState.OPEN
+        breaker.tick()
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert breaker.allows_probes()
+        # Recovery needs consecutive successes.
+        breaker.record_success()
+        assert breaker.state is BreakerState.HALF_OPEN
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allows_probes()
+
+    def test_transition_log_records_each_hop_with_ticks(self):
+        breaker = make_breaker()
+        breaker.record_failure()
+        breaker.record_failure()
+        for _ in range(3):
+            breaker.tick()
+        breaker.record_success()
+        breaker.record_success()
+        assert [(a, b) for a, b, _ in breaker.transitions] == [
+            ("closed", "open"),
+            ("open", "half_open"),
+            ("half_open", "closed"),
+        ]
+        ticks = [t for _, _, t in breaker.transitions]
+        assert ticks == sorted(ticks)
+        assert ticks[1] - ticks[0] == 3  # the cooldown, in ticks
+
+    def test_half_open_failure_reopens_and_restarts_cooldown(self):
+        breaker = make_breaker()
+        breaker.record_failure()
+        breaker.record_failure()
+        for _ in range(3):
+            breaker.tick()
+        assert breaker.state is BreakerState.HALF_OPEN
+        # A single failure while probing trickles reopens immediately.
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.total_trips == 2
+        # The cooldown starts over from zero.
+        breaker.tick()
+        breaker.tick()
+        assert breaker.state is BreakerState.OPEN
+        breaker.tick()
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_success_in_closed_resets_failure_streak(self):
+        breaker = make_breaker(failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()  # streak broken
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+
+
+class TestExternalReaders:
+    def test_health_mapping_tracks_cycle(self):
+        breaker = make_breaker()
+        states = []
+        states.append(ReplicaHealth.from_breaker(breaker.state))
+        breaker.record_failure()
+        breaker.record_failure()
+        states.append(ReplicaHealth.from_breaker(breaker.state))
+        for _ in range(3):
+            breaker.tick()
+        states.append(ReplicaHealth.from_breaker(breaker.state))
+        breaker.record_success()
+        breaker.record_success()
+        states.append(ReplicaHealth.from_breaker(breaker.state))
+        assert states == [
+            ReplicaHealth.HEALTHY,
+            ReplicaHealth.DRAINED,
+            ReplicaHealth.DEGRADED,
+            ReplicaHealth.HEALTHY,
+        ]
+
+    def test_ticks_while_closed_are_harmless(self):
+        breaker = make_breaker()
+        for _ in range(100):
+            breaker.tick()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.transitions == []
+
+    def test_counters_visible_to_monitors(self):
+        breaker = make_breaker(failure_threshold=1)
+        breaker.record_failure()
+        assert breaker.total_failures == 1
+        assert breaker.total_trips == 1

@@ -144,6 +144,70 @@ class TestExitCodes:
         assert "what-if budget" in out
 
 
+class TestFleetCommands:
+    FAST = [
+        "fleet-run",
+        "--replicas", "2",
+        "--phase-length", "15",
+        "--transition", "5",
+        "--fleet-epoch", "10",
+        "--seed", "3",
+    ]
+
+    def test_fleet_run_parsing_defaults(self):
+        args = build_parser().parse_args(["fleet-run"])
+        assert args.replicas == 3
+        assert args.policy == "affinity"
+        assert args.snapshot_dir is None
+
+    def test_fleet_run_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fleet-run", "--policy", "random"])
+
+    def test_fleet_run_reports_per_replica_table(self, capsys):
+        assert main(self.FAST) == 0
+        out = capsys.readouterr().out
+        assert "policy:   affinity (2 replicas)" in out
+        assert "fleet execution cost" in out
+        assert "config divergence" in out
+
+    def test_fleet_run_round_robin_policy(self, capsys):
+        assert main(self.FAST + ["--policy", "round-robin"]) == 0
+        assert "round-robin" in capsys.readouterr().out
+
+    def test_fleet_run_saves_snapshot(self, capsys, tmp_path):
+        target = tmp_path / "state"
+        assert main(self.FAST + ["--snapshot-dir", str(target)]) == 0
+        assert "fleet snapshot saved" in capsys.readouterr().out
+        assert (target / "fleet.json").exists()
+        assert (target / "replica-0.json").exists()
+
+    def test_fleet_status_reads_snapshot(self, capsys, tmp_path):
+        target = tmp_path / "state"
+        assert main(self.FAST + ["--snapshot-dir", str(target)]) == 0
+        capsys.readouterr()
+        assert main(["fleet-status", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "fleet of 2" in out
+        assert out.count(": OK") == 2
+
+    def test_fleet_status_flags_tampered_replica(self, capsys, tmp_path):
+        from repro.persist import load_json, save_json
+
+        target = tmp_path / "state"
+        assert main(self.FAST + ["--snapshot-dir", str(target)]) == 0
+        snap = load_json(target / "replica-0.json")
+        snap["whatif_budget"] = 424242
+        save_json(target / "replica-0.json", snap)
+        capsys.readouterr()
+        assert main(["fleet-status", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "MISMATCH" in out
+
+    def test_fleet_status_missing_dir_exit_code(self, capsys, tmp_path):
+        assert main(["fleet-status", str(tmp_path / "nope")]) == EXIT_SNAPSHOT
+
+
 class TestAsciiBars:
     def test_empty(self):
         assert "no data" in _ascii_bars("x", [])

@@ -125,6 +125,54 @@ class TestMultiClient:
         assert m1.source == m2.source
 
 
+class TestClientIds:
+    def test_every_query_is_tagged(self, catalog):
+        a = stable_workload(stable_distribution(), 30, catalog, seed=1)
+        b = stable_workload(stable_distribution(), 20, catalog, seed=2)
+        merged = multi_client_workload([a, b], seed=0)
+        assert merged.client_ids is not None
+        assert len(merged.client_ids) == len(merged.queries)
+        assert set(merged.client_ids) == {0, 1}
+
+    def test_tags_agree_with_source_labels(self, catalog):
+        a = stable_workload(stable_distribution(), 25, catalog, seed=1)
+        b = stable_workload(stable_distribution(), 25, catalog, seed=2)
+        merged = multi_client_workload([a, b], seed=7)
+        for label, client in zip(merged.source, merged.client_ids):
+            assert label.startswith(f"client{client}:")
+
+    def test_tag_counts_match_client_stream_lengths(self, catalog):
+        a = stable_workload(stable_distribution(), 30, catalog, seed=1)
+        b = stable_workload(stable_distribution(), 50, catalog, seed=2)
+        merged = multi_client_workload([a, b], seed=0)
+        assert merged.client_ids.count(0) == 30
+        assert merged.client_ids.count(1) == 50
+
+    def test_same_seeds_give_identical_interleaving(self, catalog):
+        def build():
+            a = stable_workload(stable_distribution(), 40, catalog, seed=11)
+            b = stable_workload(stable_distribution(), 40, catalog, seed=12)
+            return multi_client_workload([a, b], seed=13)
+
+        m1, m2 = build(), build()
+        assert m1.client_ids == m2.client_ids
+        assert m1.source == m2.source
+        assert [q.filters[0].column for q in m1.queries] == [
+            q.filters[0].column for q in m2.queries
+        ]
+
+    def test_different_seed_changes_interleaving(self, catalog):
+        a = stable_workload(stable_distribution(), 40, catalog, seed=11)
+        b = stable_workload(stable_distribution(), 40, catalog, seed=12)
+        m1 = multi_client_workload([a, b], seed=1)
+        m2 = multi_client_workload([a, b], seed=2)
+        assert m1.client_ids != m2.client_ids
+
+    def test_single_client_workloads_stay_untagged(self, catalog):
+        wl = stable_workload(stable_distribution(), 10, catalog, seed=1)
+        assert wl.client_ids is None
+
+
 def _noise_runs(source):
     runs = []
     current = 0

@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.engine.datatypes import DataType
 from repro.workload.datagen import build_physical
