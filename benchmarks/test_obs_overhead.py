@@ -1,0 +1,100 @@
+"""Observability overhead: instrumented vs. disabled-registry fleet.
+
+The metrics layer rides on every query (`process_query` counters, span
+handles) and every epoch close (dashboard rows, gauge refreshes), so it
+must be cheap enough to leave on.  This re-runs the fleet-routing
+workload's cost-policy configuration twice per round -- once with live
+registries, once with ``MetricsRegistry(enabled=False)`` everywhere --
+and demands the instrumented run stay within 5% wall-clock of the
+disabled one (min-of-rounds, to shed scheduler noise).
+"""
+
+import time
+
+from repro.core.config import ColtConfig
+from repro.fleet import FleetCoordinator
+from repro.obs.registry import MetricsRegistry
+from repro.workload.datagen import build_catalog
+from repro.workload.experiments import phase_distributions
+from repro.workload.phases import multi_client_workload, shifting_workload
+
+BUDGET_PAGES = 9_000.0
+N_REPLICAS = 3
+FLEET_EPOCH = 30
+SEED = 11
+ROUNDS = 3
+MAX_OVERHEAD = 1.05
+
+
+def build_workload():
+    """The fleet-routing benchmark's 3-client shifting stream."""
+    catalog = build_catalog()
+    phases = phase_distributions()
+    clients = [
+        shifting_workload(
+            [phases[i % len(phases)], phases[(i + 1) % len(phases)]],
+            catalog,
+            phase_length=100,
+            transition=20,
+            seed=SEED + i,
+        )
+        for i in range(N_REPLICAS)
+    ]
+    return multi_client_workload(clients, seed=SEED + 7)
+
+
+def run_once(workload, enabled):
+    """One cost-policy fleet pass; returns (wall seconds, fleet)."""
+    fleet = FleetCoordinator(
+        build_catalog,
+        n_replicas=N_REPLICAS,
+        config=ColtConfig(storage_budget_pages=BUDGET_PAGES),
+        policy="cost",
+        fleet_epoch_length=FLEET_EPOCH,
+        registry=MetricsRegistry(enabled=enabled),
+    )
+    started = time.perf_counter()
+    fleet.run(workload)
+    return time.perf_counter() - started, fleet
+
+
+def test_obs_overhead(benchmark, report):
+    workload = build_workload()
+
+    def run_all():
+        rounds = [
+            (run_once(workload, enabled=False), run_once(workload, enabled=True))
+            for _ in range(ROUNDS)
+        ]
+        return rounds
+
+    rounds = benchmark.pedantic(run_all, rounds=1)
+
+    baseline = min(seconds for (seconds, _), _ in rounds)
+    instrumented = min(seconds for _, (seconds, _) in rounds)
+    ratio = instrumented / baseline
+    _, (_, live_fleet) = rounds[-1]
+    families = len(live_fleet.metrics_snapshot()["metrics"])
+
+    lines = [
+        f"observability overhead ({workload.description}, "
+        f"{N_REPLICAS} replicas, {ROUNDS} rounds, min wall-clock)",
+        f"{'registry':<14} {'seconds':>9}",
+        f"{'disabled':<14} {baseline:>9.3f}",
+        f"{'enabled':<14} {instrumented:>9.3f}",
+        f"overhead: {ratio:.3f}x (bound {MAX_OVERHEAD:.2f}x); "
+        f"{families} metric families exported",
+    ]
+    report("\n".join(lines))
+
+    # The disabled run must actually be dark...
+    (_, dark_fleet), _ = rounds[0]
+    dark_sum = sum(
+        sample.get("value", 0.0)
+        for family in dark_fleet.metrics_snapshot()["metrics"]
+        if family["type"] != "histogram"
+        for sample in family["samples"]
+    )
+    assert dark_sum == 0.0
+    # ...and the instrumented run must stay within the overhead budget.
+    assert ratio <= MAX_OVERHEAD

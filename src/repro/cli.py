@@ -10,6 +10,10 @@ Exposes the reproduction's experiments and a few interactive utilities::
     python -m repro explain "select ..."   # optimize a query against the
                                            #   paper catalog and show the plan
     python -m repro check-snapshot FILE    # validate a saved tuner snapshot
+    python -m repro run [--metrics-out F]  # run COLT and report the overhead
+                                           #   dashboard (+ metrics snapshot)
+    python -m repro metrics                # emit a Prometheus/JSON metrics
+                                           #   snapshot (live or --from FILE)
     python -m repro fleet-run              # replicated tuning fleet behind a
                                            #   workload-aware query router
     python -m repro fleet-status DIR       # inspect a saved fleet snapshot
@@ -127,6 +131,54 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ps.add_argument("path", help="path to a snapshot written by save_json")
 
+    pr = sub.add_parser(
+        "run",
+        help="run COLT over a paper workload and report the overhead dashboard",
+    )
+    pr.add_argument(
+        "--workload",
+        choices=("stable", "shifting"),
+        default="stable",
+        help="which paper workload to run",
+    )
+    pr.add_argument(
+        "--queries", type=int, default=200, help="workload length (stable only)"
+    )
+    pr.add_argument("--seed", type=int, default=0, help="workload RNG seed")
+    pr.add_argument(
+        "--budget",
+        type=float,
+        default=DEFAULT_BUDGET_PAGES,
+        help="storage budget in pages",
+    )
+    pr.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write a metrics snapshot (.prom/.txt: Prometheus text; "
+        "otherwise JSON)",
+    )
+
+    pm = sub.add_parser(
+        "metrics",
+        help="emit a metrics snapshot (small live fleet run, or a saved file)",
+    )
+    pm.add_argument(
+        "--format",
+        choices=("prom", "json", "text"),
+        default="prom",
+        help="prom: Prometheus text; json: snapshot document; "
+        "text: overhead dashboard table",
+    )
+    pm.add_argument(
+        "--from",
+        dest="from_file",
+        default=None,
+        metavar="FILE",
+        help="render a saved JSON snapshot instead of running live",
+    )
+    pm.add_argument("--seed", type=int, default=0, help="live-run RNG seed")
+
     pf = sub.add_parser(
         "fleet-run",
         help="run a replicated tuning fleet over a multi-client shifting workload",
@@ -163,6 +215,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--snapshot-dir",
         default=None,
         help="directory to save the fleet snapshot into after the run",
+    )
+    pf.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the fleet's merged metrics snapshot "
+        "(.prom/.txt: Prometheus text; otherwise JSON)",
     )
 
     pg = sub.add_parser(
@@ -202,6 +261,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             _run_timeline(args)
         elif args.command == "check-snapshot":
             _run_check_snapshot(args)
+        elif args.command == "run":
+            _run_run(args)
+        elif args.command == "metrics":
+            _run_metrics(args)
         elif args.command == "fleet-run":
             _run_fleet(args)
         elif args.command == "fleet-status":
@@ -217,7 +280,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except SnapshotError as exc:
         print(f"snapshot error: {exc}", file=sys.stderr)
         return EXIT_SNAPSHOT
-    except (ValueError, KeyError) as exc:
+    except (ValueError, KeyError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_ERROR
     return 0
@@ -319,6 +382,89 @@ def _run_check_snapshot(args) -> None:
     print(f"  what-if budget: {tuner.profiler.whatif_budget}")
 
 
+def _run_run(args) -> None:
+    from repro.core.colt import ColtTuner
+    from repro.core.config import ColtConfig
+    from repro.obs.export import write_metrics
+    from repro.workload import build_catalog, shifting_workload, stable_workload
+    from repro.workload.experiments import phase_distributions, stable_distribution
+
+    catalog = build_catalog()
+    if args.workload == "stable":
+        workload = stable_workload(
+            stable_distribution(), args.queries, catalog, seed=args.seed
+        )
+    else:
+        workload = shifting_workload(
+            phase_distributions(),
+            catalog,
+            phase_length=150,
+            transition=30,
+            seed=args.seed,
+        )
+    tuner = ColtTuner(
+        build_catalog(),
+        ColtConfig(storage_budget_pages=args.budget, seed=args.seed),
+    )
+    outcomes = tuner.run(workload.queries)
+    print(f"workload: {workload.description}")
+    print(
+        f"queries:  {len(outcomes)}; epochs: {len(tuner.dashboard.records)}; "
+        f"materialized: {len(tuner.materialized_set)}"
+    )
+    print(f"total cost: {sum(o.total_cost for o in outcomes):,.0f}\n")
+    print("what-if overhead dashboard (requested / granted / spent):")
+    print(tuner.dashboard.render())
+    if args.metrics_out:
+        fmt = write_metrics(args.metrics_out, tuner.metrics_snapshot())
+        print(f"\nmetrics snapshot written: {args.metrics_out} ({fmt})")
+
+
+def _live_metrics_snapshot(seed: int):
+    """A small live fleet run exercising every stable metric family."""
+    from repro.core.config import ColtConfig
+    from repro.fleet import FleetCoordinator
+    from repro.workload import build_catalog, multi_client_workload, shifting_workload
+    from repro.workload.experiments import phase_distributions
+
+    catalog = build_catalog()
+    phases = phase_distributions()
+    clients = [
+        shifting_workload(
+            [phases[i % len(phases)], phases[(i + 1) % len(phases)]],
+            catalog,
+            phase_length=40,
+            transition=10,
+            seed=seed + i,
+        )
+        for i in range(2)
+    ]
+    merged = multi_client_workload(clients, seed=seed + 7)
+    fleet = FleetCoordinator(
+        build_catalog,
+        n_replicas=2,
+        config=ColtConfig(storage_budget_pages=DEFAULT_BUDGET_PAGES, seed=seed),
+        policy="cost",
+        fleet_epoch_length=25,
+    )
+    fleet.run(merged)
+    return fleet.metrics_snapshot()
+
+
+def _run_metrics(args) -> None:
+    from repro.obs.dashboard import render_overhead_rows
+    from repro.obs.export import load_snapshot, render_snapshot
+
+    if args.from_file:
+        snapshot = load_snapshot(args.from_file)
+    else:
+        snapshot = _live_metrics_snapshot(args.seed)
+    if args.format == "text":
+        print(render_overhead_rows(snapshot.get("overhead", [])))
+    else:
+        sys.stdout.write(render_snapshot(snapshot, args.format))
+
+
 def _run_fleet(args) -> None:
     from repro.core.config import ColtConfig
     from repro.fleet import FleetCoordinator, save_fleet
@@ -371,6 +517,11 @@ def _run_fleet(args) -> None:
     if args.snapshot_dir:
         path = save_fleet(args.snapshot_dir, fleet)
         print(f"\nfleet snapshot saved: {path}")
+    if args.metrics_out:
+        from repro.obs.export import write_metrics
+
+        fmt = write_metrics(args.metrics_out, fleet.metrics_snapshot())
+        print(f"\nmetrics snapshot written: {args.metrics_out} ({fmt})")
 
 
 def _run_fleet_status(args) -> None:

@@ -11,7 +11,8 @@ index builds triggered at an epoch boundary it closed).
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional
+import time
+from typing import Dict, List, Optional
 
 from repro.core.config import ColtConfig
 from repro.core.profiler import Profiler
@@ -20,6 +21,11 @@ from repro.core.self_organizer import ReorganizationResult, SelfOrganizer
 from repro.engine.catalog import Catalog
 from repro.engine.index import IndexDef
 from repro.engine.storage import PhysicalStore
+from repro.obs.dashboard import OverheadDashboard
+from repro.obs.export import build_snapshot
+from repro.obs.names import TUNER_METRICS
+from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import SpanTracer
 from repro.optimizer.optimizer import Optimizer
 from repro.optimizer.plan import PlanNode
 from repro.optimizer.whatif import WhatIfOptimizer
@@ -106,6 +112,14 @@ class ColtTuner:
         fault_injector: Optional fault injector; when given, its
             failpoints are installed on the what-if optimizer and the
             scheduler (testing and chaos runs).
+        registry: Metrics registry shared by the tuner and its
+            components; defaults to a fresh enabled one.  Pass
+            ``MetricsRegistry(enabled=False)`` for a zero-overhead
+            no-op registry.
+
+    Attributes:
+        tracer: Span tracer timing queries and epoch closes.
+        dashboard: Per-epoch what-if overhead accounting.
     """
 
     def __init__(
@@ -117,21 +131,48 @@ class ColtTuner:
         breaker: Optional[CircuitBreaker] = None,
         retry: Optional[RetryPolicy] = None,
         fault_injector: Optional[FaultInjector] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.catalog = catalog
         self.config = config or ColtConfig()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = SpanTracer(enabled=self.registry.enabled)
+        self.dashboard = OverheadDashboard()
         self.optimizer = Optimizer(catalog)
         self.whatif = WhatIfOptimizer(self.optimizer)
-        self.profiler = Profiler(catalog, self.whatif, self.config, breaker=breaker)
-        self.self_organizer = SelfOrganizer(catalog, self.config)
-        self.scheduler = Scheduler(catalog, store=store, policy=policy, retry=retry)
+        self.profiler = Profiler(
+            catalog, self.whatif, self.config, breaker=breaker, registry=self.registry
+        )
+        self.self_organizer = SelfOrganizer(catalog, self.config, registry=self.registry)
+        self.scheduler = Scheduler(
+            catalog, store=store, policy=policy, retry=retry, registry=self.registry
+        )
         if fault_injector is not None:
             fault_injector.attach(self)
         self._store = store
         self._queries_seen = 0
         self._epoch_inserts: dict = {}
+        self._m_queries = TUNER_METRICS["colt_queries_total"].build(self.registry)
+        self._m_query_failures = TUNER_METRICS["colt_query_failures_total"].build(self.registry)
+        self._m_epochs = TUNER_METRICS["colt_epochs_total"].build(self.registry)
+        self._m_whatif_calls = TUNER_METRICS["colt_whatif_calls_total"].build(self.registry)
+        self._m_whatif_overhead = TUNER_METRICS["colt_whatif_overhead_cost_total"].build(
+            self.registry
+        )
+        self._m_exec_cost = TUNER_METRICS["colt_execution_cost_total"].build(self.registry)
+        self._m_build_cost = TUNER_METRICS["colt_build_cost_total"].build(self.registry)
+        self._m_hot_churn = TUNER_METRICS["colt_hot_churn_total"].build(self.registry)
+        self._m_insert_rows = TUNER_METRICS["colt_insert_rows_total"].build(self.registry)
+        self._m_query_cost = TUNER_METRICS["colt_query_cost"].build(self.registry)
+        self._m_epoch_close = TUNER_METRICS["colt_epoch_close_seconds"].build(self.registry)
+        self._m_materialized = TUNER_METRICS["colt_materialized_indexes"].build(self.registry)
+        self._m_hot = TUNER_METRICS["colt_hot_indexes"].build(self.registry)
+        self._m_budget = TUNER_METRICS["colt_whatif_budget"].build(self.registry)
+        self._m_ratio = TUNER_METRICS["colt_improvement_ratio"].build(self.registry)
         # Adopt whatever is already materialized as the starting M.
         self.self_organizer.materialized = set(catalog.materialized_indexes())
+        self._m_materialized.set(len(self.self_organizer.materialized))
+        self._m_budget.set(self.profiler.whatif_budget)
 
     # ------------------------------------------------------------------
     @property
@@ -161,26 +202,42 @@ class ColtTuner:
         Returns:
             The ledger record for the query.
         """
-        session = self.whatif.begin_query(query)
-        calls_before = self.whatif.call_count
+        with self.tracer.span("query", index=self._queries_seen):
+            session = self.whatif.begin_query(query)
+            calls_before = self.whatif.call_count
 
-        self.profiler.profile_query(
-            query,
-            session,
-            hot=self.self_organizer.hot,
-            materialized=self.self_organizer.materialized,
-        )
+            self.profiler.profile_query(
+                query,
+                session,
+                hot=self.self_organizer.hot,
+                materialized=self.self_organizer.materialized,
+            )
 
-        self._queries_seen += 1
-        build_cost = 0.0
-        reorg: Optional[ReorganizationResult] = None
-        epoch_ended = self._queries_seen % self.config.epoch_length == 0
-        if epoch_ended:
-            reorg = self._close_epoch()
-            build_cost = self._apply(reorg)
+            self._queries_seen += 1
+            build_cost = 0.0
+            reorg: Optional[ReorganizationResult] = None
+            epoch_ended = self._queries_seen % self.config.epoch_length == 0
+            if epoch_ended:
+                # Budget accounting must be read before the epoch close
+                # resets the profiler's spend counter.
+                granted = self.profiler.whatif_budget
+                spent = self.profiler.whatif_used
+                epoch = self._queries_seen // self.config.epoch_length - 1
+                close_started = time.perf_counter()
+                with self.tracer.span("epoch_close", epoch=epoch):
+                    hot_before = set(self.self_organizer.hot)
+                    reorg = self._close_epoch()
+                    build_cost = self._apply(reorg)
+                self._m_epoch_close.observe(time.perf_counter() - close_started)
+                self._record_epoch(reorg, granted, spent, build_cost, hot_before)
 
         whatif_calls = self.whatif.call_count - calls_before
         whatif_overhead = whatif_calls * self.config.whatif_call_cost
+        self._m_queries.inc()
+        self._m_whatif_calls.inc(whatif_calls)
+        self._m_whatif_overhead.inc(whatif_overhead)
+        self._m_exec_cost.inc(session.base.cost)
+        self._m_query_cost.observe(session.base.cost)
         return QueryOutcome(
             index=self._queries_seen - 1,
             execution_cost=session.base.cost,
@@ -233,6 +290,7 @@ class ColtTuner:
         heap_cost = n * params.cpu_tuple_cost
         maintenance = n * n_indexes * params.index_maintain_cost_per_tuple
         self._epoch_inserts[table] = self._epoch_inserts.get(table, 0) + n
+        self._m_insert_rows.inc(n)
         return InsertOutcome(
             table=table,
             count=n,
@@ -270,6 +328,7 @@ class ColtTuner:
                 # unless process_query already counted it.
                 if self._queries_seen == seen_before:
                     self._queries_seen += 1
+                self._m_query_failures.inc()
                 outcomes.append(
                     QueryOutcome(
                         index=self._queries_seen - 1,
@@ -285,6 +344,45 @@ class ColtTuner:
         return outcomes
 
     # ------------------------------------------------------------------
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The tuner's metrics registry (shared with its components)."""
+        return self.registry
+
+    def metrics_snapshot(self) -> Dict:
+        """Self-describing snapshot: metric families, overhead, spans."""
+        return build_snapshot(
+            self.registry.snapshot(),
+            overhead=self.dashboard.to_rows(),
+            spans=self.tracer.summary(),
+        )
+
+    def _record_epoch(
+        self,
+        reorg: ReorganizationResult,
+        granted: int,
+        spent: int,
+        build_cost: float,
+        hot_before: set,
+    ) -> None:
+        """Fold one epoch boundary into metrics and the dashboard."""
+        self._m_epochs.inc()
+        self._m_build_cost.inc(build_cost)
+        hot_after = set(self.self_organizer.hot)
+        self._m_hot_churn.inc(len(hot_before.symmetric_difference(hot_after)))
+        self._m_materialized.set(len(self.self_organizer.materialized))
+        self._m_hot.set(len(hot_after))
+        self._m_budget.set(reorg.whatif_budget)
+        self._m_ratio.set(reorg.improvement_ratio)
+        self.dashboard.record(
+            requested=self.config.max_whatif_per_epoch,
+            granted=granted,
+            spent=spent,
+            ratio=reorg.improvement_ratio,
+            build_cost=build_cost,
+            breaker_state=reorg.breaker_state,
+        )
+
     def _close_epoch(self) -> ReorganizationResult:
         report = self.profiler.end_epoch(
             hot=self.self_organizer.hot,

@@ -93,6 +93,12 @@ def _solve_exact(
     best_value = 0.0
     best_mask = 0
 
+    # Feasibility tolerance: subtracting sizes from the remaining room
+    # one by one accumulates rounding that the combination's plain sum
+    # does not (1.0 - 0.9 < 0.1 even though 0.1 + 0.9 <= 1.0), so a
+    # strict comparison can wrongly prune the optimal solution.
+    eps = 1e-9 * max(1.0, capacity)
+
     def dfs(pos: int, room: float, value: float, mask: int) -> None:
         nonlocal best_value, best_mask
         if value > best_value:
@@ -100,7 +106,7 @@ def _solve_exact(
             best_mask = mask
         if pos >= n or value + bound(pos, room) <= best_value + 1e-12:
             return
-        if sizes[pos] <= room:
+        if sizes[pos] <= room + eps:
             dfs(pos + 1, room - sizes[pos], value + values[pos], mask | (1 << pos))
         dfs(pos + 1, room, value, mask)
 

@@ -35,6 +35,8 @@ from repro.core.config import ColtConfig
 from repro.core.intervals import GainStats
 from repro.engine.catalog import Catalog
 from repro.engine.index import IndexDef
+from repro.obs.names import PROFILER_METRICS, RESILIENCE_METRICS
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 from repro.optimizer.whatif import WhatIfOptimizer, WhatIfSession
 from repro.resilience.breaker import BreakerState, CircuitBreaker
 from repro.resilience.errors import WhatIfProbeError
@@ -104,6 +106,7 @@ class Profiler:
         whatif: WhatIfOptimizer,
         config: ColtConfig,
         breaker: Optional[CircuitBreaker] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self._catalog = catalog
         self._whatif = whatif
@@ -111,6 +114,21 @@ class Profiler:
         self.breaker = breaker or CircuitBreaker()
         self.probe_failures = 0
         self.degraded_queries = 0
+        self.registry = registry or NULL_REGISTRY
+        self._m_probes = PROFILER_METRICS["profiler_probes_total"].build(self.registry)
+        self._m_probe_failures = PROFILER_METRICS["profiler_probe_failures_total"].build(
+            self.registry
+        )
+        self._m_spent = PROFILER_METRICS["profiler_whatif_spent_total"].build(self.registry)
+        self._m_degraded = PROFILER_METRICS["profiler_degraded_queries_total"].build(
+            self.registry
+        )
+        self._m_clusters = PROFILER_METRICS["profiler_clusters"].build(self.registry)
+        self._m_ci_width = PROFILER_METRICS["profiler_ci_width"].build(self.registry)
+        transitions = RESILIENCE_METRICS["breaker_transitions_total"].build(self.registry)
+        self.breaker.add_listener(
+            lambda origin, to: transitions.inc(1, from_state=origin, to_state=to)
+        )
         self._rng = random.Random(config.seed)
         self.clusters = ClusterStore(catalog, config.history_epochs)
         self.candidates = CandidateTracker(
@@ -177,6 +195,7 @@ class Profiler:
                 probation.append(index)
         if not self.breaker.is_closed and budget_cap == 0:
             self.degraded_queries += 1
+            self._m_degraded.inc()
 
         # Probe one index per what-if call so a single failed call loses
         # only its own gain; each failure feeds the circuit breaker, and
@@ -186,10 +205,13 @@ class Profiler:
             if not self.breaker.allows_probes():
                 break  # tripped mid-query: stop probing immediately
             self.whatif_used += 1
+            self._m_probes.inc()
+            self._m_spent.inc()
             try:
                 probe = self._whatif.what_if_optimize(session, [index])
             except WhatIfProbeError:
                 self.probe_failures += 1
+                self._m_probe_failures.inc()
                 self.breaker.record_failure()
                 continue
             self.breaker.record_success()
@@ -199,6 +221,7 @@ class Profiler:
 
         # Lines 13-14: crude benefit updates for every relevant candidate.
         self.candidates.observe_query(query, used, materialized)
+        self._m_clusters.set(len(self.clusters))
         return ProfileOutcome(cluster=cluster, probed=probation, gains=gains)
 
     # ------------------------------------------------------------------
@@ -339,7 +362,10 @@ class Profiler:
         per_cluster[cluster.cluster_id] = per_cluster.get(cluster.cluster_id, 0) + 1
 
     def _record_gain(self, index: IndexDef, cluster: Cluster, gain: float) -> None:
-        self._pair(index, cluster).gain.add(gain)
+        pair = self._pair(index, cluster)
+        pair.gain.add(gain)
+        low, high = pair.gain.interval()
+        self._m_ci_width.observe(high - low)
         per_cluster = self._epoch_measured.setdefault(_key(index), {})
         per_cluster.setdefault(cluster.cluster_id, []).append(gain)
 

@@ -17,6 +17,7 @@ At the end of each epoch the Self-Organizer:
 from __future__ import annotations
 
 import dataclasses
+import time
 from collections import deque
 from typing import Deque, Dict, Iterable, List, Optional, Set, Tuple
 
@@ -27,6 +28,8 @@ from repro.core.profiler import EpochIndexBenefit, Profiler
 from repro.core.window_tuner import ForecastWindowTuner
 from repro.engine.catalog import Catalog
 from repro.engine.index import IndexDef
+from repro.obs.names import TUNER_METRICS
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 
 # Composite-safe index identity: table plus ordered key columns.
 IndexKey = Tuple[str, Tuple[str, ...]]
@@ -71,9 +74,16 @@ class ReorganizationResult:
 class SelfOrganizer:
     """Implements reorganization and re-budgeting."""
 
-    def __init__(self, catalog: Catalog, config: ColtConfig) -> None:
+    def __init__(
+        self,
+        catalog: Catalog,
+        config: ColtConfig,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         self._catalog = catalog
         self._config = config
+        self.registry = registry or NULL_REGISTRY
+        self._m_knapsack = TUNER_METRICS["colt_knapsack_seconds"].build(self.registry)
         self.materialized: Set[IndexDef] = set()
         self.hot: Set[IndexDef] = set()
         self._history: Dict[IndexKey, BenefitHistory] = {}
@@ -270,9 +280,11 @@ class SelfOrganizer:
             )
             for ix in pool
         ]
+        started = time.perf_counter()
         selected, total = solve_knapsack(
             items, self._config.storage_budget_pages
         )
+        self._m_knapsack.observe(time.perf_counter() - started)
         return [item.key for item in selected], total
 
     def _select_hot(

@@ -24,12 +24,16 @@ ledger record mirroring the single-tuner
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.core.colt import QueryOutcome
 from repro.core.config import ColtConfig
 from repro.engine.catalog import Catalog
 from repro.fleet.replica import ReplicaHealth, ReplicaStats, TunerReplica
+from repro.obs.export import build_snapshot
+from repro.obs.names import FLEET_METRICS
+from repro.obs.registry import MetricsRegistry, merge_snapshots
+from repro.obs.spans import SpanTracer, merge_span_summaries
 from repro.fleet.router import (
     DEFAULT_PROBE_BUDGET,
     AffinityRouter,
@@ -184,6 +188,14 @@ class FleetCoordinator:
             tight thresholds).
         fault_injectors: Optional per-replica fault injectors; entries
             may be None.
+        registry: Fleet-level metrics registry; defaults to a fresh
+            enabled one.  Each replica additionally gets its own
+            registry (same enabled state) so
+            :meth:`metrics_snapshot` can merge them under a
+            ``replica`` label.
+
+    Attributes:
+        tracer: Span tracer timing fleet reorganizations.
     """
 
     def __init__(
@@ -196,6 +208,7 @@ class FleetCoordinator:
         probe_budget: int = DEFAULT_PROBE_BUDGET,
         breakers: Optional[Sequence[Optional[CircuitBreaker]]] = None,
         fault_injectors: Optional[Sequence[Optional[FaultInjector]]] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if n_replicas < 1:
             raise ValueError("n_replicas must be positive")
@@ -203,6 +216,7 @@ class FleetCoordinator:
             raise ValueError("fleet_epoch_length must be positive")
         self.config = config or ColtConfig()
         self.fleet_epoch_length = fleet_epoch_length
+        self.registry = registry if registry is not None else MetricsRegistry()
         self.replicas: List[TunerReplica] = []
         for i in range(n_replicas):
             breaker = breakers[i] if breakers else None
@@ -214,6 +228,7 @@ class FleetCoordinator:
                     self.config,
                     breaker=breaker,
                     fault_injector=injector,
+                    registry=MetricsRegistry(enabled=self.registry.enabled),
                 )
             )
         self._routing_catalog = catalog_factory()
@@ -224,6 +239,7 @@ class FleetCoordinator:
             self.router.bind(self.replicas)
         self.queries_routed = 0
         self.reorganizations: List[FleetReorganizationResult] = []
+        self._init_observability()
 
     # ------------------------------------------------------------------
     @classmethod
@@ -252,13 +268,74 @@ class FleetCoordinator:
             coordinator.router.bind(coordinator.replicas)
         coordinator.queries_routed = 0
         coordinator.reorganizations = []
+        coordinator.registry = MetricsRegistry(
+            enabled=replicas[0].tuner.registry.enabled
+        )
+        coordinator._init_observability()
         return coordinator
+
+    # ------------------------------------------------------------------
+    def _init_observability(self) -> None:
+        """Build the fleet-level collectors and span tracer."""
+        self.tracer = SpanTracer(enabled=self.registry.enabled)
+        self._m_routed = FLEET_METRICS["fleet_queries_routed_total"].build(self.registry)
+        self._m_probes = FLEET_METRICS["fleet_routing_probes_total"].build(self.registry)
+        self._m_routing_cost = FLEET_METRICS["fleet_routing_overhead_cost_total"].build(
+            self.registry
+        )
+        self._m_reorgs = FLEET_METRICS["fleet_reorganizations_total"].build(self.registry)
+        self._m_drains = FLEET_METRICS["fleet_drain_events_total"].build(self.registry)
+        self._m_restores = FLEET_METRICS["fleet_restore_events_total"].build(self.registry)
+        self._m_moved = FLEET_METRICS["fleet_moved_assignments_total"].build(self.registry)
+        self._m_rebalanced = FLEET_METRICS["fleet_rebalanced_keys_total"].build(self.registry)
+        self._m_probe_budget = FLEET_METRICS["fleet_probe_budget"].build(self.registry)
+        self._m_divergence = FLEET_METRICS["fleet_config_divergence"].build(self.registry)
+        self._m_health = FLEET_METRICS["fleet_replica_health"].build(self.registry)
+        self._sync_health()
+
+    _HEALTH_VALUES = {
+        ReplicaHealth.HEALTHY: 0,
+        ReplicaHealth.DEGRADED: 1,
+        ReplicaHealth.DRAINED: 2,
+    }
+
+    def _sync_health(self) -> None:
+        for r in self.replicas:
+            self._m_health.set(self._HEALTH_VALUES[r.health], replica=r.replica_id)
 
     # ------------------------------------------------------------------
     @property
     def policy(self) -> str:
         """The routing policy name."""
         return self.router.name
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The fleet-level metrics registry (replicas have their own)."""
+        return self.registry
+
+    def metrics_snapshot(self) -> Dict:
+        """Merged snapshot: fleet families plus per-replica families.
+
+        Replica samples gain a ``replica`` label; overhead rows gain a
+        ``replica`` key; span summaries merge (counts add, maxima max).
+        """
+        parts = [(self.registry.snapshot(), {})]
+        overhead: List[Dict] = []
+        summaries = [self.tracer.summary()]
+        for r in self.replicas:
+            parts.append(
+                (r.tuner.registry.snapshot(), {"replica": str(r.replica_id)})
+            )
+            for row in r.tuner.dashboard.to_rows():
+                row["replica"] = r.replica_id
+                overhead.append(row)
+            summaries.append(r.tuner.tracer.summary())
+        return build_snapshot(
+            merge_snapshots(parts),
+            overhead=overhead,
+            spans=merge_span_summaries(summaries),
+        )
 
     def process_query(
         self,
@@ -290,6 +367,10 @@ class FleetCoordinator:
                 self.replicas[drained_id].idle_tick()
 
         self.queries_routed += 1
+        routing_overhead = route.probes * self.config.whatif_call_cost
+        self._m_routed.inc(1, replica=route.replica_id)
+        self._m_probes.inc(route.probes)
+        self._m_routing_cost.inc(routing_overhead)
         reorg: Optional[FleetReorganizationResult] = None
         if self.queries_routed % self.fleet_epoch_length == 0:
             reorg = self.reorganize()
@@ -297,7 +378,7 @@ class FleetCoordinator:
             index=self.queries_routed - 1,
             replica_id=route.replica_id,
             outcome=outcome,
-            routing_overhead=route.probes * self.config.whatif_call_cost,
+            routing_overhead=routing_overhead,
             reorganization=reorg,
         )
 
@@ -345,26 +426,39 @@ class FleetCoordinator:
         Called automatically at fleet epoch boundaries; callable
         directly by tests and by operators reacting to an incident.
         """
-        previously = set(self.router.drained)
-        unhealthy = {
-            r.replica_id for r in self.replicas if r.health is ReplicaHealth.DRAINED
-        }
-        drained = sorted(unhealthy - previously)
-        restored = sorted(previously - unhealthy)
-        self.router.set_drained(sorted(unhealthy))
+        with self.tracer.span("fleet_reorganize", epoch=len(self.reorganizations)):
+            previously = set(self.router.drained)
+            unhealthy = {
+                r.replica_id
+                for r in self.replicas
+                if r.health is ReplicaHealth.DRAINED
+            }
+            drained = sorted(unhealthy - previously)
+            restored = sorted(previously - unhealthy)
+            self.router.set_drained(sorted(unhealthy))
 
-        moved = 0
-        rebalanced = 0
-        if isinstance(self.router, AffinityRouter):
-            if drained:
-                moved = self.router.reassign_from(drained)
-            rebalanced = self.router.rebalance()
-        self.router.roll_epoch()
-        probe_budget = (
-            self.router.probe_budget
-            if isinstance(self.router, CostBasedRouter)
-            else 0
-        )
+            moved = 0
+            rebalanced = 0
+            if isinstance(self.router, AffinityRouter):
+                if drained:
+                    moved = self.router.reassign_from(drained)
+                rebalanced = self.router.rebalance()
+            self.router.roll_epoch()
+            probe_budget = (
+                self.router.probe_budget
+                if isinstance(self.router, CostBasedRouter)
+                else 0
+            )
+
+        divergence = self.configuration_divergence()
+        self._m_reorgs.inc()
+        self._m_drains.inc(len(drained))
+        self._m_restores.inc(len(restored))
+        self._m_moved.inc(moved)
+        self._m_rebalanced.inc(rebalanced)
+        self._m_probe_budget.set(probe_budget)
+        self._m_divergence.set(divergence)
+        self._sync_health()
 
         result = FleetReorganizationResult(
             epoch=len(self.reorganizations),
@@ -374,7 +468,7 @@ class FleetCoordinator:
             moved_assignments=moved,
             rebalanced=rebalanced,
             probe_budget=probe_budget,
-            divergence=self.configuration_divergence(),
+            divergence=divergence,
             replicas=[
                 ReplicaStatus(
                     replica_id=r.replica_id,

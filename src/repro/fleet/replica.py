@@ -24,6 +24,7 @@ from repro.bench.tracing import EpochTrace, TunerTrace
 from repro.core.colt import ColtTuner, QueryOutcome
 from repro.core.config import ColtConfig
 from repro.engine.catalog import Catalog
+from repro.obs.registry import MetricsRegistry
 from repro.resilience.breaker import BreakerState, CircuitBreaker
 from repro.resilience.faults import FaultInjector
 from repro.sql.ast import Query
@@ -77,6 +78,10 @@ class TunerReplica:
             replica's tuner only (chaos tests drain a single replica).
         tuner: Pre-built tuner to adopt instead of constructing one
             (used when restoring a fleet from snapshots).
+        registry: Metrics registry for this replica's tuner (the
+            coordinator hands each replica its own so snapshots can be
+            merged under a ``replica`` label); ignored when ``tuner``
+            is pre-built.
     """
 
     def __init__(
@@ -87,6 +92,7 @@ class TunerReplica:
         breaker: Optional[CircuitBreaker] = None,
         fault_injector: Optional[FaultInjector] = None,
         tuner: Optional[ColtTuner] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.replica_id = replica_id
         self.catalog = catalog
@@ -96,6 +102,7 @@ class TunerReplica:
                 config,
                 breaker=breaker,
                 fault_injector=fault_injector,
+                registry=registry,
             )
         self.tuner = tuner
         self.stats = ReplicaStats()

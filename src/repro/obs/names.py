@@ -1,0 +1,149 @@
+"""The stable metric-name catalog (the dashboard contract).
+
+Every metric family the core tuner, resilience layer, and fleet emit is
+declared here, once, with its type and label set.  Instrumented modules
+build their collectors *from* these specs, so a renamed or relabeled
+metric is a one-file change -- and the metrics-contract test asserts
+that every catalog entry actually appears in the Prometheus export,
+which is what keeps external dashboards from silently breaking.
+
+Name conventions follow Prometheus: ``*_total`` for counters, bare
+nouns for gauges, unit-suffixed names for histograms (``_seconds``,
+``_cost``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Tuple, Union
+
+from repro.obs.registry import (
+    COST_BUCKETS,
+    SECONDS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class MetricSpec:
+    """Declaration of one stable metric family.
+
+    Attributes:
+        name: Prometheus-style family name.
+        kind: ``"counter"``, ``"gauge"`` or ``"histogram"``.
+        help: One-line description (the ``# HELP`` text).
+        labelnames: Label keys every sample binds.
+        buckets: Histogram bucket bounds (histograms only).
+    """
+
+    name: str
+    kind: str
+    help: str
+    labelnames: Tuple[str, ...] = ()
+    buckets: Optional[Tuple[float, ...]] = None
+
+    def build(
+        self, registry: MetricsRegistry
+    ) -> Union[Counter, Gauge, Histogram]:
+        """Create (or fetch) this family's collector on a registry."""
+        if self.kind == "counter":
+            return registry.counter(self.name, self.help, self.labelnames)
+        if self.kind == "gauge":
+            return registry.gauge(self.name, self.help, self.labelnames)
+        if self.kind == "histogram":
+            return registry.histogram(
+                self.name,
+                self.help,
+                self.labelnames,
+                buckets=self.buckets or SECONDS_BUCKETS,
+            )
+        raise ValueError(f"unknown metric kind {self.kind!r}")
+
+
+def _catalog(*specs: MetricSpec) -> Dict[str, MetricSpec]:
+    out: Dict[str, MetricSpec] = {}
+    for spec in specs:
+        if spec.name in out:
+            raise ValueError(f"duplicate metric spec {spec.name!r}")
+        out[spec.name] = spec
+    return out
+
+
+#: Families emitted by :class:`~repro.core.colt.ColtTuner`.
+TUNER_METRICS = _catalog(
+    MetricSpec("colt_queries_total", "counter", "Queries processed by the tuner."),
+    MetricSpec("colt_query_failures_total", "counter", "Queries recorded as failed in skip mode."),
+    MetricSpec("colt_epochs_total", "counter", "Epoch boundaries closed."),
+    MetricSpec("colt_whatif_calls_total", "counter", "What-if optimizer calls issued."),
+    MetricSpec("colt_whatif_overhead_cost_total", "counter", "Cost units charged for what-if calls."),
+    MetricSpec("colt_execution_cost_total", "counter", "Execution cost of processed queries."),
+    MetricSpec("colt_build_cost_total", "counter", "Index build cost charged at epoch boundaries."),
+    MetricSpec("colt_hot_churn_total", "counter", "Indexes entering or leaving the hot set at boundaries."),
+    MetricSpec("colt_insert_rows_total", "counter", "Rows applied through process_insert."),
+    MetricSpec("colt_query_cost", "histogram", "Per-query execution cost.", buckets=COST_BUCKETS),
+    MetricSpec("colt_epoch_close_seconds", "histogram", "Wall-clock time of epoch close (reorganization + builds).", buckets=SECONDS_BUCKETS),
+    MetricSpec("colt_knapsack_seconds", "histogram", "Wall-clock time of each knapsack solve.", buckets=SECONDS_BUCKETS),
+    MetricSpec("colt_materialized_indexes", "gauge", "Current size of the materialized set M."),
+    MetricSpec("colt_hot_indexes", "gauge", "Current size of the hot set H."),
+    MetricSpec("colt_whatif_budget", "gauge", "#WI_lim granted for the current epoch."),
+    MetricSpec("colt_improvement_ratio", "gauge", "Latest re-budgeting ratio r."),
+)
+
+#: Families emitted by :class:`~repro.core.profiler.Profiler`.
+PROFILER_METRICS = _catalog(
+    MetricSpec("profiler_probes_total", "counter", "What-if probes attempted (including failures)."),
+    MetricSpec("profiler_probe_failures_total", "counter", "What-if probes that raised."),
+    MetricSpec("profiler_whatif_spent_total", "counter", "What-if budget units spent."),
+    MetricSpec("profiler_degraded_queries_total", "counter", "Queries profiled crude-only because the breaker cut the budget."),
+    MetricSpec("profiler_clusters", "gauge", "Live query clusters."),
+    MetricSpec("profiler_ci_width", "histogram", "Width of (index, cluster) gain confidence intervals after each measurement.", buckets=COST_BUCKETS),
+)
+
+#: Families emitted by :class:`~repro.core.scheduler.Scheduler`.
+SCHEDULER_METRICS = _catalog(
+    MetricSpec("scheduler_builds_total", "counter", "Index builds completed."),
+    MetricSpec("scheduler_build_failures_total", "counter", "Index build attempts that failed."),
+    MetricSpec("scheduler_build_cost_total", "counter", "Cost units charged for completed builds."),
+    MetricSpec("scheduler_retry_attempts_total", "counter", "Backed-off build retries attempted at boundaries."),
+    MetricSpec("scheduler_recovered_builds_total", "counter", "Failed builds recovered by a retry."),
+    MetricSpec("scheduler_abandoned_builds_total", "counter", "Failed builds whose retry policy was exhausted."),
+    MetricSpec("scheduler_retry_queue_depth", "gauge", "Failed builds currently awaiting retry."),
+    MetricSpec("scheduler_pending_builds", "gauge", "Builds queued under the idle-time policy."),
+)
+
+#: Families emitted by the resilience layer (breaker transitions).
+RESILIENCE_METRICS = _catalog(
+    MetricSpec(
+        "breaker_transitions_total",
+        "counter",
+        "Profiling circuit-breaker state transitions.",
+        labelnames=("from_state", "to_state"),
+    ),
+)
+
+#: Families emitted by :class:`~repro.fleet.coordinator.FleetCoordinator`.
+FLEET_METRICS = _catalog(
+    MetricSpec("fleet_queries_routed_total", "counter", "Queries routed, per serving replica.", labelnames=("replica",)),
+    MetricSpec("fleet_routing_probes_total", "counter", "What-if probes spent on routing decisions."),
+    MetricSpec("fleet_routing_overhead_cost_total", "counter", "Cost units charged for routing probes."),
+    MetricSpec("fleet_reorganizations_total", "counter", "Fleet epoch boundaries closed."),
+    MetricSpec("fleet_drain_events_total", "counter", "Replicas newly drained at boundaries."),
+    MetricSpec("fleet_restore_events_total", "counter", "Replicas newly restored at boundaries."),
+    MetricSpec("fleet_moved_assignments_total", "counter", "Affinity keys redistributed away from drained replicas."),
+    MetricSpec("fleet_rebalanced_keys_total", "counter", "Affinity keys moved toward starved replicas."),
+    MetricSpec("fleet_probe_budget", "gauge", "Cost router probe budget granted for the current fleet epoch."),
+    MetricSpec("fleet_config_divergence", "gauge", "Mean pairwise Jaccard distance between replica materialized sets."),
+    MetricSpec("fleet_replica_health", "gauge", "Replica health (0 healthy, 1 degraded, 2 drained).", labelnames=("replica",)),
+)
+
+#: Every stable family, by name -- the contract the export must honour.
+CATALOG: Dict[str, MetricSpec] = {
+    **TUNER_METRICS,
+    **PROFILER_METRICS,
+    **SCHEDULER_METRICS,
+    **RESILIENCE_METRICS,
+    **FLEET_METRICS,
+}

@@ -1,0 +1,375 @@
+"""Dependency-free metrics registry: counters, gauges, histograms.
+
+The registry is deliberately tiny and allocation-light so the tuner's
+hot path (every arriving query) can afford it: a metric handle is
+created once at instrumentation time and each update is a dict lookup
+plus a float add.  A registry built with ``enabled=False`` turns every
+update into an early return, which is how the overhead benchmark
+measures the instrumentation's wall-clock cost.
+
+All three collector types support Prometheus-style labels, declared at
+registration time (``labelnames``) and bound per update (``inc(1,
+replica="0")``).  Snapshots are plain JSON-compatible dicts; the
+Prometheus text rendering lives in :mod:`repro.obs.export`.
+
+Design choices mirroring ``prometheus_client`` (the idiom, not the
+code): registration is idempotent for an identical (name, kind,
+labelnames) triple and an error for a conflicting one, so two
+subsystems can safely share a registry; samples are ordered
+deterministically (registration order, then sorted label values) so
+exports diff cleanly across runs.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+class MetricError(ValueError):
+    """Raised for invalid metric registration or label usage."""
+
+
+#: Default histogram buckets for wall-clock durations, in seconds.
+SECONDS_BUCKETS = (
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+)
+
+#: Default histogram buckets for optimizer cost units (wide, log-spaced).
+COST_BUCKETS = (
+    1.0,
+    10.0,
+    100.0,
+    1_000.0,
+    10_000.0,
+    100_000.0,
+    1_000_000.0,
+)
+
+
+def _validate_name(name: str) -> None:
+    if not name or not all(c.isalnum() or c == "_" for c in name):
+        raise MetricError(f"invalid metric name {name!r}")
+    if name[0].isdigit():
+        raise MetricError(f"metric name {name!r} must not start with a digit")
+
+
+class Metric:
+    """Base collector: a named family of labeled samples.
+
+    Args:
+        name: Metric family name (``[a-zA-Z_][a-zA-Z0-9_]*``).
+        help: One-line description rendered as ``# HELP``.
+        labelnames: Label keys every sample of this family must bind.
+        enabled: When False every update is a no-op (the registry's
+            disabled mode).
+    """
+
+    kind = "untyped"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: Sequence[str] = (),
+        enabled: bool = True,
+    ) -> None:
+        _validate_name(name)
+        for label in labelnames:
+            _validate_name(label)
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._sorted_labelnames = tuple(sorted(self.labelnames))
+        self._enabled = enabled
+        self._samples: Dict[Tuple[str, ...], float] = {}
+
+    # ------------------------------------------------------------------
+    def _labelvalues(self, labels: Dict[str, object]) -> Tuple[str, ...]:
+        # Fast path for the common unlabeled family: hot-path updates
+        # (one per query) must not pay two sorted() calls.
+        if not labels and not self.labelnames:
+            return ()
+        if tuple(sorted(labels)) != self._sorted_labelnames:
+            raise MetricError(
+                f"{self.name} expects labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[k]) for k in self.labelnames)
+
+    def value(self, **labels: object) -> float:
+        """The current value for one label binding (0.0 if never set)."""
+        return self._samples.get(self._labelvalues(labels), 0.0)
+
+    def samples(self) -> List[Dict]:
+        """JSON-compatible samples, deterministically ordered."""
+        return [
+            {"labels": dict(zip(self.labelnames, key)), "value": value}
+            for key, value in sorted(self._samples.items())
+        ]
+
+    def snapshot(self) -> Dict:
+        """JSON-compatible description of this metric family."""
+        return {
+            "name": self.name,
+            "type": self.kind,
+            "help": self.help,
+            "labelnames": list(self.labelnames),
+            "samples": self.samples(),
+        }
+
+
+class Counter(Metric):
+    """A monotonically increasing value (events, spent cost units)."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        """Add ``amount`` (must be >= 0) to one label binding's value."""
+        if not self._enabled:
+            return
+        if amount < 0:
+            raise MetricError(f"counter {self.name} cannot decrease")
+        key = self._labelvalues(labels)
+        self._samples[key] = self._samples.get(key, 0.0) + amount
+
+
+class Gauge(Metric):
+    """A value that can go up and down (set sizes, current budgets)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: object) -> None:
+        """Set one label binding's value."""
+        if not self._enabled:
+            return
+        self._samples[self._labelvalues(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        """Add ``amount`` (may be negative) to one label binding's value."""
+        if not self._enabled:
+            return
+        key = self._labelvalues(labels)
+        self._samples[key] = self._samples.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: object) -> None:
+        """Subtract ``amount`` from one label binding's value."""
+        self.inc(-amount, **labels)
+
+
+class Histogram(Metric):
+    """Cumulative-bucket histogram (Prometheus semantics).
+
+    Args:
+        name / help / labelnames / enabled: As for :class:`Metric`.
+        buckets: Ascending upper bounds; a ``+Inf`` bucket is implicit.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = SECONDS_BUCKETS,
+        enabled: bool = True,
+    ) -> None:
+        super().__init__(name, help, labelnames, enabled=enabled)
+        bounds = tuple(float(b) for b in buckets)
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise MetricError(f"histogram {name} buckets must be ascending")
+        if not bounds:
+            raise MetricError(f"histogram {name} needs at least one bucket")
+        self.buckets = bounds
+        # key -> [count, sum, per-bucket counts (non-cumulative)]
+        self._series: Dict[Tuple[str, ...], List] = {}
+
+    def observe(self, value: float, **labels: object) -> None:
+        """Record one observation."""
+        if not self._enabled:
+            return
+        key = self._labelvalues(labels)
+        series = self._series.get(key)
+        if series is None:
+            series = [0, 0.0, [0] * (len(self.buckets) + 1)]
+            self._series[key] = series
+        series[0] += 1
+        series[1] += value
+        series[2][bisect.bisect_left(self.buckets, value)] += 1
+
+    def count(self, **labels: object) -> int:
+        """Number of observations for one label binding."""
+        series = self._series.get(self._labelvalues(labels))
+        return series[0] if series else 0
+
+    def sum(self, **labels: object) -> float:
+        """Sum of observations for one label binding."""
+        series = self._series.get(self._labelvalues(labels))
+        return series[1] if series else 0.0
+
+    def samples(self) -> List[Dict]:
+        """Per-binding count/sum plus cumulative bucket counts."""
+        out = []
+        for key, (count, total, raw) in sorted(self._series.items()):
+            cumulative = {}
+            acc = 0
+            for bound, n in zip(self.buckets, raw):
+                acc += n
+                cumulative[repr(bound)] = acc
+            cumulative["+Inf"] = count
+            out.append(
+                {
+                    "labels": dict(zip(self.labelnames, key)),
+                    "count": count,
+                    "sum": total,
+                    "buckets": cumulative,
+                }
+            )
+        return out
+
+
+class MetricsRegistry:
+    """A collection of metrics owned by one subsystem instance.
+
+    Args:
+        enabled: When False, every collector this registry creates is a
+            no-op and snapshots carry no samples -- the switch the
+            overhead benchmark flips.
+
+    Registries are instance-scoped on purpose (no process-global
+    default): each tuner, scheduler, and fleet coordinator owns or
+    shares one explicitly, so tests and replicas never interfere.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._metrics: Dict[str, Metric] = {}
+
+    # ------------------------------------------------------------------
+    def _register(self, metric: Metric) -> Metric:
+        existing = self._metrics.get(metric.name)
+        if existing is not None:
+            if (
+                existing.kind != metric.kind
+                or existing.labelnames != metric.labelnames
+            ):
+                raise MetricError(
+                    f"metric {metric.name!r} already registered as "
+                    f"{existing.kind}{existing.labelnames}"
+                )
+            return existing
+        self._metrics[metric.name] = metric
+        return metric
+
+    def counter(
+        self, name: str, help: str, labelnames: Sequence[str] = ()
+    ) -> Counter:
+        """Register (or fetch) a counter family."""
+        metric = self._register(
+            Counter(name, help, labelnames, enabled=self.enabled)
+        )
+        assert isinstance(metric, Counter)
+        return metric
+
+    def gauge(
+        self, name: str, help: str, labelnames: Sequence[str] = ()
+    ) -> Gauge:
+        """Register (or fetch) a gauge family."""
+        metric = self._register(
+            Gauge(name, help, labelnames, enabled=self.enabled)
+        )
+        assert isinstance(metric, Gauge)
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        help: str,
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = SECONDS_BUCKETS,
+    ) -> Histogram:
+        """Register (or fetch) a histogram family."""
+        metric = self._register(
+            Histogram(name, help, labelnames, buckets, enabled=self.enabled)
+        )
+        assert isinstance(metric, Histogram)
+        return metric
+
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> Optional[Metric]:
+        """The registered metric with this name, if any."""
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        """Registered family names in registration order."""
+        return list(self._metrics)
+
+    def snapshot(self) -> List[Dict]:
+        """JSON-compatible snapshot of every family, registration order."""
+        return [m.snapshot() for m in self._metrics.values()]
+
+
+#: Shared no-op registry for components constructed without one.
+NULL_REGISTRY = MetricsRegistry(enabled=False)
+
+
+def merge_snapshots(
+    parts: Iterable[Tuple[List[Dict], Dict[str, str]]],
+) -> List[Dict]:
+    """Merge per-component metric snapshots into one family list.
+
+    Args:
+        parts: ``(snapshot, extra_labels)`` pairs; every sample of a
+            snapshot gains the extra labels (e.g. ``{"replica": "0"}``)
+            before merging.  Families with the same name are unioned.
+
+    Returns:
+        One combined snapshot list, suitable for the exporters.
+
+    Raises:
+        MetricError: if two parts register the same family name with
+            different types.
+    """
+    merged: Dict[str, Dict] = {}
+    for snapshot, extra in parts:
+        extra = {k: str(v) for k, v in extra.items()}
+        for family in snapshot:
+            target = merged.get(family["name"])
+            if target is None:
+                target = {
+                    "name": family["name"],
+                    "type": family["type"],
+                    "help": family["help"],
+                    "labelnames": sorted(
+                        set(family["labelnames"]) | set(extra)
+                    ),
+                    "samples": [],
+                }
+                merged[family["name"]] = target
+            elif target["type"] != family["type"]:
+                raise MetricError(
+                    f"conflicting types for {family['name']!r}: "
+                    f"{target['type']} vs {family['type']}"
+                )
+            else:
+                target["labelnames"] = sorted(
+                    set(target["labelnames"])
+                    | set(family["labelnames"])
+                    | set(extra)
+                )
+            for sample in family["samples"]:
+                copied = dict(sample)
+                copied["labels"] = {**sample["labels"], **extra}
+                target["samples"].append(copied)
+    return list(merged.values())

@@ -20,7 +20,7 @@ two levels:
 from __future__ import annotations
 
 import enum
-from typing import List, Tuple
+from typing import Callable, List, Tuple
 
 
 class BreakerState(enum.Enum):
@@ -66,12 +66,23 @@ class CircuitBreaker:
         self.half_open_budget = half_open_budget
         self.state = BreakerState.CLOSED
         self.transitions: List[Tuple[str, str, int]] = []
+        self._listeners: List[Callable[[str, str], None]] = []
         self._consecutive_failures = 0
         self._recovery_successes = 0
         self._cooldown = 0
         self._ticks = 0
         self.total_failures = 0
         self.total_trips = 0
+
+    def add_listener(self, listener: Callable[[str, str], None]) -> None:
+        """Register a ``(from_state, to_state)`` transition observer.
+
+        Observers fire synchronously on every state change, after the
+        transition log is appended; the metrics layer uses this to count
+        transitions without the breaker knowing about registries.
+        """
+        if listener not in self._listeners:
+            self._listeners.append(listener)
 
     # ------------------------------------------------------------------
     @property
@@ -126,5 +137,8 @@ class CircuitBreaker:
         self._transition(BreakerState.OPEN)
 
     def _transition(self, to: BreakerState) -> None:
-        self.transitions.append((self.state.value, to.value, self._ticks))
+        origin = self.state.value
+        self.transitions.append((origin, to.value, self._ticks))
         self.state = to
+        for listener in self._listeners:
+            listener(origin, to.value)

@@ -1,0 +1,107 @@
+"""Metrics-contract tests: the catalog vs. what is actually exported.
+
+External dashboards key on metric family names, types, and label sets.
+These tests pin that contract: every spec in ``repro.obs.names.CATALOG``
+must build cleanly, appear in the Prometheus export with its declared
+``# TYPE``, and -- for the live tuner and fleet -- actually be
+registered by the instrumented components.
+"""
+
+import random
+import re
+
+from repro.core import ColtConfig, ColtTuner
+from repro.fleet.coordinator import FleetCoordinator
+from repro.obs.export import to_prometheus_text
+from repro.obs.names import (
+    CATALOG,
+    FLEET_METRICS,
+    PROFILER_METRICS,
+    RESILIENCE_METRICS,
+    SCHEDULER_METRICS,
+    TUNER_METRICS,
+)
+from repro.obs.registry import MetricsRegistry
+
+from tests.fleet.workloads import build_small_catalog, day_query, eq_query
+
+
+def _type_lines(text):
+    return dict(re.findall(r"^# TYPE (\S+) (\S+)$", text, flags=re.M))
+
+
+class TestCatalogShape:
+    def test_catalog_is_union_of_component_catalogs(self):
+        union = {
+            **TUNER_METRICS,
+            **PROFILER_METRICS,
+            **SCHEDULER_METRICS,
+            **RESILIENCE_METRICS,
+            **FLEET_METRICS,
+        }
+        assert CATALOG == union
+
+    def test_naming_conventions(self):
+        for spec in CATALOG.values():
+            if spec.kind == "counter":
+                assert spec.name.endswith("_total"), spec.name
+            else:
+                assert not spec.name.endswith("_total"), spec.name
+            if spec.kind == "histogram":
+                assert spec.buckets, spec.name
+
+    def test_every_spec_builds_and_exports(self):
+        registry = MetricsRegistry()
+        for spec in CATALOG.values():
+            spec.build(registry)
+        types = _type_lines(to_prometheus_text(registry.snapshot()))
+        assert types == {spec.name: spec.kind for spec in CATALOG.values()}
+
+    def test_exported_label_sets_match_specs(self):
+        registry = MetricsRegistry()
+        for spec in CATALOG.values():
+            spec.build(registry)
+        by_name = {f["name"]: f for f in registry.snapshot()}
+        for spec in CATALOG.values():
+            assert tuple(by_name[spec.name]["labelnames"]) == spec.labelnames
+
+
+class TestLiveRegistration:
+    def test_tuner_registers_every_core_family(self, small_catalog):
+        tuner = ColtTuner(
+            small_catalog,
+            ColtConfig(storage_budget_pages=6000.0, min_history_epochs=2),
+        )
+        rng = random.Random(3)
+        for _ in range(25):
+            tuner.process_query(eq_query(rng.randint(1, 10_000)))
+        names = set(tuner.metrics.names())
+        expected = (
+            set(TUNER_METRICS)
+            | set(PROFILER_METRICS)
+            | set(SCHEDULER_METRICS)
+            | set(RESILIENCE_METRICS)
+        )
+        assert expected <= names
+
+    def test_fleet_snapshot_covers_full_catalog(self):
+        fleet = FleetCoordinator(
+            build_small_catalog,
+            n_replicas=2,
+            config=ColtConfig(
+                storage_budget_pages=6000.0, min_history_epochs=2
+            ),
+            policy="cost",
+            fleet_epoch_length=10,
+        )
+        queries = [
+            eq_query(i + 1) if i % 2 else day_query(8000 + i)
+            for i in range(25)
+        ]
+        fleet.run(queries)
+        snapshot = fleet.metrics_snapshot()
+        types = _type_lines(to_prometheus_text(snapshot["metrics"]))
+        missing = set(CATALOG) - set(types)
+        assert not missing
+        for name, kind in types.items():
+            assert CATALOG[name].kind == kind

@@ -1,0 +1,88 @@
+"""Tests for the per-epoch overhead dashboard."""
+
+import pytest
+
+from repro.obs.dashboard import OverheadDashboard, render_overhead_rows
+
+
+def _fill(dashboard, spends, granted=20, requested=20):
+    for spent in spends:
+        dashboard.record(
+            requested=requested,
+            granted=granted,
+            spent=spent,
+            ratio=1.0,
+            build_cost=0.0,
+            breaker_state="closed",
+        )
+
+
+class TestOverheadDashboard:
+    def test_records_are_numbered(self):
+        d = OverheadDashboard()
+        _fill(d, [1, 2, 3])
+        assert [r.epoch for r in d.records] == [0, 1, 2]
+
+    def test_within_budget_invariant(self):
+        d = OverheadDashboard()
+        _fill(d, [5, 20])
+        assert d.within_budget
+        d.record(
+            requested=20,
+            granted=10,
+            spent=11,
+            ratio=1.0,
+            build_cost=0.0,
+            breaker_state="closed",
+        )
+        assert not d.within_budget
+
+    def test_total_spent(self):
+        d = OverheadDashboard()
+        _fill(d, [3, 4, 5])
+        assert d.total_spent == 12
+
+    def test_spend_fraction_tail_window(self):
+        d = OverheadDashboard()
+        _fill(d, [20] * 5 + [0] * 5)
+        assert d.spend_fraction(tail=5) == pytest.approx(0.0)
+        assert d.spend_fraction(tail=10) == pytest.approx(0.5)
+
+    def test_spend_fraction_empty_is_one(self):
+        assert OverheadDashboard().spend_fraction() == 1.0
+
+    def test_zero_requested_counts_as_zero_fraction(self):
+        d = OverheadDashboard()
+        _fill(d, [0], granted=0, requested=0)
+        assert d.spend_fraction() == 0.0
+
+    def test_to_rows_roundtrips_fields(self):
+        d = OverheadDashboard()
+        _fill(d, [7])
+        (row,) = d.to_rows()
+        assert row["spent"] == 7
+        assert row["breaker_state"] == "closed"
+
+    def test_render_mentions_budget_compliance(self):
+        d = OverheadDashboard()
+        _fill(d, [5])
+        assert "within budget: yes" in d.render()
+
+    def test_render_empty(self):
+        assert OverheadDashboard().render() == "(no epochs recorded)"
+
+
+class TestRenderOverheadRows:
+    def test_replica_column_appears_for_fleet_rows(self):
+        d = OverheadDashboard()
+        _fill(d, [5])
+        rows = d.to_rows()
+        rows[0]["replica"] = 2
+        text = render_overhead_rows(rows)
+        assert "repl" in text.splitlines()[0]
+        assert text.splitlines()[1].lstrip().startswith("2")
+
+    def test_plain_rows_have_no_replica_column(self):
+        d = OverheadDashboard()
+        _fill(d, [5])
+        assert "repl " not in render_overhead_rows(d.to_rows())

@@ -1,0 +1,122 @@
+"""Tests that the instrumented components report truthful metrics.
+
+Each test cross-checks a metric family against ground truth the
+component already exposes (outcome ledgers, dashboard rows, breaker
+transition logs), so a broken hook shows up as a disagreement rather
+than just a zero.
+"""
+
+import random
+
+import pytest
+
+from repro.core import ColtConfig, ColtTuner
+from repro.obs.registry import MetricsRegistry
+from repro.resilience.breaker import CircuitBreaker
+
+from tests.fleet.workloads import day_query, eq_query
+
+
+def _tuner(small_catalog, **kwargs):
+    config = ColtConfig(
+        storage_budget_pages=6000.0, min_history_epochs=2
+    )
+    return ColtTuner(small_catalog, config, **kwargs)
+
+
+def _run(tuner, n, seed=7):
+    rng = random.Random(seed)
+    outcomes = []
+    for i in range(n):
+        if i % 3 == 2:
+            outcomes.append(tuner.process_query(day_query(8000 + i)))
+        else:
+            outcomes.append(
+                tuner.process_query(eq_query(rng.randint(1, 10_000)))
+            )
+    return outcomes
+
+
+class TestTunerCounters:
+    def test_query_and_epoch_counts_match_ledger(self, small_catalog):
+        tuner = _tuner(small_catalog)
+        outcomes = _run(tuner, 47)
+        registry = tuner.metrics
+        assert registry.get("colt_queries_total").value() == 47
+        epochs = sum(1 for o in outcomes if o.epoch_ended)
+        assert registry.get("colt_epochs_total").value() == epochs
+        assert len(tuner.dashboard.records) == epochs
+
+    def test_cost_counters_match_outcome_ledger(self, small_catalog):
+        tuner = _tuner(small_catalog)
+        outcomes = _run(tuner, 40)
+        registry = tuner.metrics
+        assert registry.get("colt_whatif_calls_total").value() == sum(
+            o.whatif_calls for o in outcomes
+        )
+        assert registry.get(
+            "colt_whatif_overhead_cost_total"
+        ).value() == pytest.approx(sum(o.whatif_overhead for o in outcomes))
+        assert registry.get("colt_execution_cost_total").value() == pytest.approx(
+            sum(o.execution_cost for o in outcomes)
+        )
+        assert registry.get("colt_build_cost_total").value() == pytest.approx(
+            sum(o.build_cost for o in outcomes)
+        )
+        assert registry.get("colt_query_cost").count() == 40
+
+    def test_gauges_reflect_current_state(self, small_catalog):
+        tuner = _tuner(small_catalog)
+        _run(tuner, 40)
+        registry = tuner.metrics
+        assert registry.get("colt_materialized_indexes").value() == len(
+            tuner.materialized_set
+        )
+        assert registry.get("colt_whatif_budget").value() == (
+            tuner.profiler.whatif_budget
+        )
+
+
+class TestOverheadDashboard:
+    def test_spend_never_exceeds_grant(self, small_catalog):
+        tuner = _tuner(small_catalog)
+        _run(tuner, 60)
+        rows = tuner.dashboard.to_rows()
+        assert rows, "expected at least one closed epoch"
+        for row in rows:
+            assert row["spent"] <= row["granted"] <= row["requested"]
+        assert tuner.dashboard.within_budget
+
+    def test_snapshot_carries_overhead_and_spans(self, small_catalog):
+        tuner = _tuner(small_catalog)
+        _run(tuner, 30)
+        snapshot = tuner.metrics_snapshot()
+        assert len(snapshot["overhead"]) == len(tuner.dashboard.records)
+        assert snapshot["spans"]["query"]["count"] == 30
+
+
+class TestDisabledRegistry:
+    def test_disabled_tuner_records_nothing(self, small_catalog):
+        tuner = _tuner(
+            small_catalog, registry=MetricsRegistry(enabled=False)
+        )
+        _run(tuner, 25)
+        assert tuner.metrics.get("colt_queries_total").value() == 0
+        assert tuner.metrics_snapshot()["spans"] == {}
+        assert tuner.dashboard.records  # accounting itself still runs
+
+
+class TestBreakerTransitions:
+    def test_listener_counts_every_transition(self, small_catalog):
+        registry = MetricsRegistry()
+        breaker = CircuitBreaker(failure_threshold=2, cooldown_ticks=1)
+        tuner = _tuner(small_catalog, breaker=breaker, registry=registry)
+        for _ in range(2):
+            breaker.record_failure()
+        breaker.tick()  # cooldown elapses -> HALF_OPEN
+        counter = tuner.metrics.get("breaker_transitions_total")
+        assert counter.value(from_state="closed", to_state="open") == 1
+        assert counter.value(from_state="open", to_state="half_open") == 1
+        assert sum(
+            s["value"] for s in counter.samples()
+        ) == len(breaker.transitions)

@@ -208,6 +208,135 @@ class TestFleetCommands:
         assert main(["fleet-status", str(tmp_path / "nope")]) == EXIT_SNAPSHOT
 
 
+class TestRunCommand:
+    FAST = ["run", "--queries", "30", "--seed", "2"]
+
+    def test_run_parsing_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.workload == "stable"
+        assert args.queries == 200
+        assert args.metrics_out is None
+
+    def test_run_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--workload", "bogus"])
+
+    def test_run_prints_overhead_dashboard(self, capsys):
+        assert main(self.FAST) == 0
+        out = capsys.readouterr().out
+        assert "what-if overhead dashboard" in out
+        assert "within budget: yes" in out
+
+    def test_run_writes_json_snapshot(self, capsys, tmp_path):
+        from repro.obs.export import load_snapshot
+
+        path = tmp_path / "m.json"
+        assert main(self.FAST + ["--metrics-out", str(path)]) == 0
+        assert "metrics snapshot written" in capsys.readouterr().out
+        snapshot = load_snapshot(str(path))
+        names = {f["name"] for f in snapshot["metrics"]}
+        assert "colt_queries_total" in names
+        assert snapshot["overhead"], "expected per-epoch overhead rows"
+        for row in snapshot["overhead"]:
+            assert row["spent"] <= row["granted"] <= row["requested"]
+
+    def test_run_writes_prometheus_by_extension(self, capsys, tmp_path):
+        path = tmp_path / "m.prom"
+        assert main(self.FAST + ["--metrics-out", str(path)]) == 0
+        text = path.read_text()
+        assert "# TYPE colt_queries_total counter" in text
+
+    def test_run_unwritable_metrics_path_is_clean_error(self, capsys, tmp_path):
+        path = tmp_path / "missing-dir" / "m.json"
+        assert main(self.FAST + ["--metrics-out", str(path)]) == EXIT_ERROR
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "Traceback" not in err
+
+
+class TestMetricsCommand:
+    def _snapshot_file(self, tmp_path):
+        path = tmp_path / "m.json"
+        assert (
+            main(["run", "--queries", "30", "--seed", "2", "--metrics-out", str(path)])
+            == 0
+        )
+        return path
+
+    def test_metrics_parsing_defaults(self):
+        args = build_parser().parse_args(["metrics"])
+        assert args.format == "prom"
+        assert args.from_file is None
+
+    def test_metrics_from_file_prom(self, capsys, tmp_path):
+        path = self._snapshot_file(tmp_path)
+        capsys.readouterr()
+        assert main(["metrics", "--from", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE colt_epochs_total counter" in out
+
+    def test_metrics_from_file_text_renders_overhead(self, capsys, tmp_path):
+        path = self._snapshot_file(tmp_path)
+        capsys.readouterr()
+        assert main(["metrics", "--from", str(path), "--format", "text"]) == 0
+        out = capsys.readouterr().out
+        assert "grant" in out and "spent" in out
+
+    def test_metrics_missing_file_is_clean_error(self, capsys, tmp_path):
+        assert main(["metrics", "--from", str(tmp_path / "nope.json")]) == EXIT_ERROR
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "Traceback" not in err
+
+    def test_metrics_foreign_json_is_clean_error(self, capsys, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"format": "not-metrics"}')
+        assert main(["metrics", "--from", str(path)]) == EXIT_ERROR
+        assert "error:" in capsys.readouterr().err
+
+    def test_metrics_truncated_json_is_clean_error(self, capsys, tmp_path):
+        path = tmp_path / "torn.json"
+        path.write_text('{"format": "colt-met')
+        assert main(["metrics", "--from", str(path)]) == EXIT_ERROR
+        err = capsys.readouterr().err
+        assert "not valid JSON" in err
+
+
+class TestQuarantinedSnapshots:
+    def test_check_snapshot_on_quarantined_file(self, capsys, tmp_path):
+        from repro.persist import load_or_quarantine
+
+        path = tmp_path / "state.json"
+        path.write_text("{ torn")
+        assert load_or_quarantine(path) is None
+        quarantined = tmp_path / "state.json.corrupt"
+        assert quarantined.exists()
+        assert main(["check-snapshot", str(quarantined)]) == EXIT_SNAPSHOT
+        err = capsys.readouterr().err
+        assert "snapshot error:" in err
+        assert "Traceback" not in err
+
+    def test_check_snapshot_on_missing_original(self, capsys, tmp_path):
+        assert main(["check-snapshot", str(tmp_path / "state.json")]) == EXIT_SNAPSHOT
+        assert "error:" in capsys.readouterr().err
+
+
+class TestFleetMetricsOut:
+    def test_fleet_run_writes_replica_labeled_snapshot(self, capsys, tmp_path):
+        from repro.obs.export import load_snapshot
+
+        path = tmp_path / "fleet.json"
+        fast = TestFleetCommands.FAST + ["--metrics-out", str(path)]
+        assert main(fast) == 0
+        assert "metrics snapshot written" in capsys.readouterr().out
+        snapshot = load_snapshot(str(path))
+        by_name = {f["name"]: f for f in snapshot["metrics"]}
+        assert "fleet_queries_routed_total" in by_name
+        colt = by_name["colt_queries_total"]
+        replicas = {s["labels"]["replica"] for s in colt["samples"]}
+        assert replicas == {"0", "1"}
+
+
 class TestAsciiBars:
     def test_empty(self):
         assert "no data" in _ascii_bars("x", [])
