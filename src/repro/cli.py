@@ -124,6 +124,12 @@ def build_parser() -> argparse.ArgumentParser:
     pt.add_argument(
         "--queries", type=int, default=400, help="workload length (stable only)"
     )
+    pt.add_argument(
+        "--gain-cache",
+        choices=("on", "off"),
+        default="off",
+        help="cross-query what-if gain cache (see docs/PERFORMANCE.md)",
+    )
 
     ps = sub.add_parser(
         "check-snapshot",
@@ -157,6 +163,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write a metrics snapshot (.prom/.txt: Prometheus text; "
         "otherwise JSON)",
+    )
+    pr.add_argument(
+        "--gain-cache",
+        choices=("on", "off"),
+        default="off",
+        help="cross-query what-if gain cache (see docs/PERFORMANCE.md)",
     )
 
     pm = sub.add_parser(
@@ -222,6 +234,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the fleet's merged metrics snapshot "
         "(.prom/.txt: Prometheus text; otherwise JSON)",
+    )
+    pf.add_argument(
+        "--gain-cache",
+        choices=("on", "off"),
+        default="off",
+        help="per-replica cross-query what-if gain cache",
     )
 
     pg = sub.add_parser(
@@ -364,7 +382,11 @@ def _run_timeline(args) -> None:
     trace = trace_run(
         build_catalog(),
         workload.queries,
-        ColtConfig(storage_budget_pages=args.budget, seed=args.seed),
+        ColtConfig(
+            storage_budget_pages=args.budget,
+            seed=args.seed,
+            gain_cache=args.gain_cache == "on",
+        ),
     )
     print(f"workload: {workload.description}\n")
     print(trace.render_timeline())
@@ -404,7 +426,11 @@ def _run_run(args) -> None:
         )
     tuner = ColtTuner(
         build_catalog(),
-        ColtConfig(storage_budget_pages=args.budget, seed=args.seed),
+        ColtConfig(
+            storage_budget_pages=args.budget,
+            seed=args.seed,
+            gain_cache=args.gain_cache == "on",
+        ),
     )
     outcomes = tuner.run(workload.queries)
     print(f"workload: {workload.description}")
@@ -490,7 +516,10 @@ def _run_fleet(args) -> None:
     fleet = FleetCoordinator(
         build_catalog,
         n_replicas=args.replicas,
-        config=ColtConfig(storage_budget_pages=args.budget),
+        config=ColtConfig(
+            storage_budget_pages=args.budget,
+            gain_cache=args.gain_cache == "on",
+        ),
         policy=args.policy,
         fleet_epoch_length=args.fleet_epoch,
     )

@@ -147,6 +147,14 @@ class ColtTuner:
         self.scheduler = Scheduler(
             catalog, store=store, policy=policy, retry=retry, registry=self.registry
         )
+        # Any materialization change (builds, drops, idle-time builds,
+        # recovered retries) invalidates affected gain-cache entries;
+        # pair-statistics consistency stays with purge_stale in _apply.
+        self.scheduler.on_change = lambda changed: (
+            self.profiler.gain_cache.invalidate_indexes(
+                changed, reason="materialization"
+            )
+        )
         if fault_injector is not None:
             fault_injector.attach(self)
         self._store = store
@@ -284,6 +292,11 @@ class ColtTuner:
         else:
             n = len(list(rows)) if rows is not None else int(count)
             self.catalog.table(table).row_count += n
+        # The write changes costs on this table; cached what-if gains
+        # recorded under the old statistics would no longer validate
+        # anyway (stats-token mismatch), but dropping them eagerly
+        # keeps the cache small.
+        self.profiler.gain_cache.invalidate_table(table)
 
         params = self.catalog.params
         n_indexes = len(self.catalog.materialized_indexes(table))

@@ -65,6 +65,18 @@ class ColtConfig:
             several predicates on one table also mine two-column
             composite index candidates, which flow through the same
             profiling, knapsack and scheduling machinery.
+        gain_cache: Enables the cross-query what-if gain cache
+            (``repro.core.gaincache``): gains provably identical to a
+            fresh probe are served without an extended-optimizer call
+            and without ledger overhead.  Sampling decisions and the
+            selected configuration are unchanged either way (see
+            docs/PERFORMANCE.md); off by default so overhead accounting
+            matches the paper's prototype exactly.
+        knapsack_warm_start: Seeds each epoch's knapsack solve with the
+            previous epoch's solution value as a branch-and-bound
+            incumbent.  Provably returns the same optimum -- the
+            incumbent is a strict lower bound -- it only prunes the
+            search earlier.
         seed: Seed for the profiler's sampling decisions.
     """
 
@@ -83,6 +95,8 @@ class ColtConfig:
     forecast_window: int | None = None
     adaptive_forecast_window: bool = False
     composite_candidates: bool = False
+    gain_cache: bool = False
+    knapsack_warm_start: bool = True
     seed: int = 0
 
     def __post_init__(self) -> None:

@@ -42,6 +42,7 @@ def solve_knapsack(
     items: Sequence[KnapsackItem],
     capacity: float,
     resolution: int = DEFAULT_RESOLUTION,
+    incumbent_value: float = 0.0,
 ) -> Tuple[List[KnapsackItem], float]:
     """Solve 0/1 knapsack.
 
@@ -54,6 +55,11 @@ def solve_knapsack(
         items: Candidate objects.
         capacity: Knapsack capacity (>= 0).
         resolution: Grid cells for the large-pool DP fallback.
+        incumbent_value: Value of a known-feasible solution, used to
+            warm-start the branch-and-bound pruning (epoch solves seed
+            this with the previous epoch's solution).  Must be a true
+            lower bound on the optimum; the returned solution is the
+            same optimum with or without it.  Ignored by the grid DP.
 
     Returns:
         (selected items, total value).  Items with value <= 0 or size
@@ -65,12 +71,12 @@ def solve_knapsack(
     if not viable or capacity <= 0.0:
         return [], 0.0
     if len(viable) <= MAX_EXACT_ITEMS:
-        return _solve_exact(viable, capacity)
+        return _solve_exact(viable, capacity, incumbent_value)
     return _solve_grid(viable, capacity, resolution)
 
 
 def _solve_exact(
-    viable: List[KnapsackItem], capacity: float
+    viable: List[KnapsackItem], capacity: float, incumbent_value: float = 0.0
 ) -> Tuple[List[KnapsackItem], float]:
     """Branch-and-bound with the fractional-relaxation upper bound."""
     order = sorted(viable, key=lambda it: it.value / it.size, reverse=True)
@@ -90,7 +96,13 @@ def _solve_exact(
                 break
         return total
 
-    best_value = 0.0
+    # Seed the pruning bound from the caller's incumbent, backed off by
+    # a margin larger than the prune tolerance (and any float sum-order
+    # drift): the incumbent's own leaf must survive the prune chain so
+    # the returned mask is the optimum, never an empty fallback.
+    best_value = max(
+        0.0, incumbent_value - 1e-9 * max(1.0, abs(incumbent_value))
+    )
     best_mask = 0
 
     # Feasibility tolerance: subtracting sizes from the remaining room

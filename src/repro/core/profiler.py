@@ -32,6 +32,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 from repro.core.candidates import CandidateTracker
 from repro.core.clustering import Cluster, ClusterStore
 from repro.core.config import ColtConfig
+from repro.core.gaincache import GainCache
 from repro.core.intervals import GainStats
 from repro.engine.catalog import Catalog
 from repro.engine.index import IndexDef
@@ -130,6 +131,15 @@ class Profiler:
             lambda origin, to: transitions.inc(1, from_state=origin, to_state=to)
         )
         self._rng = random.Random(config.seed)
+        # Cross-query gain cache (collectors registered even when
+        # disabled, so the metrics contract holds in either mode).
+        self.gain_cache = GainCache(
+            catalog,
+            whatif,
+            enabled=config.gain_cache,
+            ttl_epochs=config.history_epochs,
+            registry=self.registry,
+        )
         self.clusters = ClusterStore(catalog, config.history_epochs)
         self.candidates = CandidateTracker(
             catalog,
@@ -171,9 +181,14 @@ class Profiler:
         used = session.base.plan.indexes_used()
 
         # I_M: materialized indexes used in the plan (paper line 3).
-        mat_used = [ix for ix in materialized if ix in used]
+        # Canonical (name-sorted) order before the seeded shuffle below:
+        # iterating the caller's sets directly would make probation order
+        # -- and thus the whole run -- vary with hash randomization.
+        mat_used = [ix for ix in sorted(materialized, key=str) if ix in used]
         # I_H: hot indexes relevant to the cluster (paper line 4).
-        hot_relevant = [ix for ix in hot if cluster.is_relevant(ix)]
+        hot_relevant = [
+            ix for ix in sorted(hot, key=str) if cluster.is_relevant(ix)
+        ]
 
         # Exposure counts: every query in the cluster contributes to the
         # denominator of Benefit_H for relevant hot indexes; materialized
@@ -200,8 +215,27 @@ class Profiler:
         # Probe one index per what-if call so a single failed call loses
         # only its own gain; each failure feeds the circuit breaker, and
         # successful probes keep (or win back) full profiling.
+        #
+        # Cached gains are served *before* the breaker gate (a hit needs
+        # no extended-optimizer call, so it stays available in degraded
+        # mode) but still consume one budget unit: the probation set was
+        # admitted under #WI_lim, and charging hits keeps the sampling
+        # stream identical to a cache-off run -- the invariant the
+        # differential harness pins.  Only the ledger-visible call is
+        # saved (no call_count, no whatif_call_cost).
+        cache_ctx = (
+            self.gain_cache.begin_query(query) if self.gain_cache.enabled else None
+        )
         gains: Dict[IndexDef, float] = {}
         for index in probation:
+            if cache_ctx is not None:
+                cached = cache_ctx.lookup(index)
+                if cached is not None:
+                    self.whatif_used += 1
+                    self._m_spent.inc()
+                    gains[index] = cached
+                    self._record_gain(index, cluster, cached)
+                    continue
             if not self.breaker.allows_probes():
                 break  # tripped mid-query: stop probing immediately
             self.whatif_used += 1
@@ -218,6 +252,8 @@ class Profiler:
             for ix, gain in probe.items():
                 gains[ix] = gain
                 self._record_gain(ix, cluster, gain)
+                if cache_ctx is not None:
+                    cache_ctx.store(ix, gain)
 
         # Lines 13-14: crude benefit updates for every relevant candidate.
         self.candidates.observe_query(query, used, materialized)
@@ -240,7 +276,7 @@ class Profiler:
         """
         w = self._config.epoch_length
         report: Dict[IndexKey, EpochIndexBenefit] = {}
-        for index in list(hot) + list(materialized):
+        for index in sorted(list(hot) + list(materialized), key=str):
             key = _key(index)
             if key in report:
                 continue
@@ -281,6 +317,7 @@ class Profiler:
         self._epoch_exposure.clear()
         self.candidates.roll_epoch(w)
         self.clusters.roll_epoch()
+        self.gain_cache.roll_epoch()
         self.whatif_used = 0
         return report
 

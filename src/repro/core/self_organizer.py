@@ -91,6 +91,10 @@ class SelfOrganizer:
         self._measured: Dict[IndexKey, int] = {}
         # Write-aware extension: per-table insert counts per epoch.
         self._writes: Dict[str, Deque[int]] = {}
+        # Previous epoch's knapsack selections (by index key), used to
+        # warm-start the next solve's branch-and-bound incumbent.
+        self._warm_conservative: frozenset = frozenset()
+        self._warm_optimistic: frozenset = frozenset()
         self._window_tuner = (
             ForecastWindowTuner(config.effective_forecast_window)
             if config.adaptive_forecast_window
@@ -127,16 +131,24 @@ class SelfOrganizer:
         # Hot indexes become eligible for materialization only once they
         # carry enough measured history to trust the forecast.
         min_epochs = self._config.min_history_epochs
+        # Canonical (name-sorted) pool order: ``hot`` and ``materialized``
+        # are sets, and letting their hash order leak into the knapsack
+        # would break run-to-run reproducibility on value ties.
         eligible = [
             ix
-            for ix in self.hot
+            for ix in sorted(self.hot, key=str)
             if len(self._history.get(_key(ix), ())) >= min_epochs
         ]
-        pool = eligible + [ix for ix in self.materialized if ix not in eligible]
+        pool = eligible + [
+            ix for ix in sorted(self.materialized, key=str) if ix not in eligible
+        ]
         values = {
             _key(ix): self._net_benefit(ix, optimistic=False) for ix in pool
         }
-        selected, chosen_value = self._solve(pool, values)
+        selected, chosen_value = self._solve(
+            pool, values, warm=self._warm_conservative
+        )
+        self._warm_conservative = frozenset(_key(ix) for ix in selected)
         new_m = set(selected)
         adds = [ix for ix in sorted(new_m, key=str) if ix not in self.materialized]
         drops = [ix for ix in sorted(self.materialized, key=str) if ix not in new_m]
@@ -155,8 +167,11 @@ class SelfOrganizer:
         # The optimistic scenario considers every hot index -- including
         # ones not yet eligible for actual materialization -- since its
         # purpose is to decide whether profiling them is worthwhile.
-        opt_pool = list({*pool, *self.hot, *new_hot})
-        _opt_selected, opt_value = self._solve(opt_pool, optimistic_values)
+        opt_pool = sorted({*pool, *self.hot, *new_hot}, key=str)
+        _opt_selected, opt_value = self._solve(
+            opt_pool, optimistic_values, warm=self._warm_optimistic
+        )
+        self._warm_optimistic = frozenset(_key(ix) for ix in _opt_selected)
         ratio = self._improvement_ratio(opt_value, chosen_value)
         budget = self._budget_for(ratio)
 
@@ -270,8 +285,12 @@ class SelfOrganizer:
         return sum(window) / len(window)
 
     def _solve(
-        self, pool: Iterable[IndexDef], values: Dict[IndexKey, float]
+        self,
+        pool: Iterable[IndexDef],
+        values: Dict[IndexKey, float],
+        warm: frozenset = frozenset(),
     ) -> Tuple[List[IndexDef], float]:
+        capacity = self._config.storage_budget_pages
         items = [
             KnapsackItem(
                 key=ix,
@@ -280,9 +299,24 @@ class SelfOrganizer:
             )
             for ix in pool
         ]
+        # Warm-start: the previous epoch's selection, re-valued under
+        # this epoch's forecasts and filtered to still-viable items, is
+        # a feasible solution -- a true lower bound that lets the
+        # branch-and-bound prune earlier without changing its optimum.
+        incumbent = 0.0
+        if warm and self._config.knapsack_warm_start:
+            prev = [
+                it
+                for it in items
+                if _key(it.key) in warm
+                and it.value > 0.0
+                and 0.0 < it.size <= capacity
+            ]
+            if prev and sum(it.size for it in prev) <= capacity:
+                incumbent = sum(it.value for it in prev)
         started = time.perf_counter()
         selected, total = solve_knapsack(
-            items, self._config.storage_budget_pages
+            items, capacity, incumbent_value=incumbent
         )
         self._m_knapsack.observe(time.perf_counter() - started)
         return [item.key for item in selected], total

@@ -103,6 +103,7 @@ class Catalog:
         self._stats: Dict[Tuple[str, str], ColumnStats] = {}
         self._materialized: Dict[Tuple[str, Tuple[str, ...]], IndexDef] = {}
         self._views: Dict[str, object] = {}
+        self._stats_versions: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Tables and columns
@@ -151,6 +152,7 @@ class Catalog:
         if not tdef.has_column(column):
             raise KeyError(f"no column {column!r} in table {table!r}")
         self._stats[(table, column)] = stats
+        self._stats_versions[table] = self._stats_versions.get(table, 0) + 1
 
     def stats(self, table: str, column: str) -> ColumnStats:
         """Statistics for a column, falling back to type defaults."""
@@ -159,6 +161,16 @@ class Catalog:
             return self._stats[key]
         tdef = self.table(table)
         return default_stats_for(tdef.column(column).dtype, tdef.row_count)
+
+    def stats_version(self, table: str) -> int:
+        """Monotone counter bumped on every ``set_stats`` for a table.
+
+        Together with ``row_count`` this forms the staleness token the
+        gain cache validates on lookup: any statistics refresh changes
+        the token, so cached what-if gains recorded under old
+        statistics can never be replayed.
+        """
+        return self._stats_versions.get(table, 0)
 
     # ------------------------------------------------------------------
     # Indexes

@@ -443,6 +443,12 @@ class FleetCoordinator:
                 if drained:
                     moved = self.router.reassign_from(drained)
                 rebalanced = self.router.rebalance()
+            if moved or rebalanced:
+                # Moved affinity keys change which queries each replica
+                # profiles next; per-replica gain caches keyed on the
+                # old assignment mix are cleared rather than aged out.
+                for replica in self.replicas:
+                    replica.tuner.profiler.gain_cache.clear(reason="rebalance")
             self.router.roll_epoch()
             probe_budget = (
                 self.router.probe_budget

@@ -102,6 +102,25 @@ PROFILER_METRICS = _catalog(
     MetricSpec("profiler_ci_width", "histogram", "Width of (index, cluster) gain confidence intervals after each measurement.", buckets=COST_BUCKETS),
 )
 
+#: Families emitted by :class:`~repro.core.gaincache.GainCache`.
+GAINCACHE_METRICS = _catalog(
+    MetricSpec(
+        "gaincache_hits_total",
+        "counter",
+        "What-if gains served from the cross-query gain cache.",
+        labelnames=("kind",),
+    ),
+    MetricSpec("gaincache_misses_total", "counter", "Gain-cache lookups that fell through to a real what-if probe."),
+    MetricSpec("gaincache_stores_total", "counter", "Probe results stored into the gain cache."),
+    MetricSpec(
+        "gaincache_invalidations_total",
+        "counter",
+        "Gain-cache entries invalidated.",
+        labelnames=("reason",),
+    ),
+    MetricSpec("gaincache_entries", "gauge", "Entries currently held by the gain cache."),
+)
+
 #: Families emitted by :class:`~repro.core.scheduler.Scheduler`.
 SCHEDULER_METRICS = _catalog(
     MetricSpec("scheduler_builds_total", "counter", "Index builds completed."),
@@ -143,6 +162,7 @@ FLEET_METRICS = _catalog(
 CATALOG: Dict[str, MetricSpec] = {
     **TUNER_METRICS,
     **PROFILER_METRICS,
+    **GAINCACHE_METRICS,
     **SCHEDULER_METRICS,
     **RESILIENCE_METRICS,
     **FLEET_METRICS,

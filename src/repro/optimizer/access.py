@@ -182,16 +182,15 @@ def parameterized_index_path(
         A parameterized index scan, or None if no index on the join
         column is available in ``config``.
     """
-    index = next(
-        (
-            ix
-            for ix in config
-            if ix.table == table and ix.column == inner_column
-        ),
-        None,
-    )
-    if index is None:
+    # min-by-name rather than next(): ``config`` is a frozenset, and when
+    # several indexes lead on the join column the pick must not depend on
+    # hash order.
+    matches = [
+        ix for ix in config if ix.table == table and ix.column == inner_column
+    ]
+    if not matches:
         return None
+    index = min(matches, key=lambda ix: ix.name)
     tdef = catalog.table(table)
     stats = catalog.stats(table, inner_column)
     join_sel = 1.0 / max(1.0, stats.n_distinct)

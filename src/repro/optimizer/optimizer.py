@@ -133,11 +133,14 @@ class Optimizer:
         return result
 
     # ------------------------------------------------------------------
-    def _relevant_config(self, query: Query, config: IndexConfig) -> IndexConfig:
+    def relevant_config(self, query: Query, config: IndexConfig) -> IndexConfig:
         """Restrict a configuration to indexes that could affect the query.
 
         An index is relevant if its table appears in the query and its
-        column is referenced by a filter or join predicate.
+        column is referenced by a filter or join predicate.  Plan
+        identity (and therefore cost) depends only on this restriction,
+        which is both the plan-cache key and the configuration
+        signature the cross-query gain cache validates against.
         """
         tables = set(query.tables)
         referenced = {
@@ -149,6 +152,9 @@ class Optimizer:
             for ix in config
             if ix.table in tables and (ix.table, ix.column) in referenced
         )
+
+    # Backwards-compatible private alias (pre-gain-cache callers).
+    _relevant_config = relevant_config
 
     def _finalize(self, query: Query, plan: PlanNode) -> PlanNode:
         """Stack aggregation / sort / limit / projection above the join tree."""

@@ -146,6 +146,29 @@ class WhatIfOptimizer:
                 ) from exc
         return gains
 
+    def relevant_signature(
+        self, query: Query, materialized: Optional[IndexConfig] = None
+    ) -> frozenset:
+        """Hashable signature of the configuration relevant to a query.
+
+        Two what-if probes of the same (query, index) pair return the
+        same gain whenever this signature matches, because the
+        optimizer only ever planned against the relevant restriction of
+        ``M`` -- the property the cross-query gain cache keys on.
+
+        Args:
+            query: A bound query.
+            materialized: The set ``M`` to restrict; defaults to the
+                catalog's current materialized set.
+
+        Returns:
+            Frozenset of ``(table, columns)`` identity keys.
+        """
+        if materialized is None:
+            materialized = self._optimizer.current_config()
+        relevant = self._optimizer.relevant_config(query, materialized)
+        return frozenset((ix.table, ix.columns) for ix in relevant)
+
     def gains_for(
         self, query: Query, probation: List[IndexDef]
     ) -> Dict[IndexDef, float]:

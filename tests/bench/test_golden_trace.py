@@ -1,0 +1,105 @@
+"""Golden-trace regression pin for the seeded Figure-4 tuner run.
+
+A small (270-query) Figure-4-shaped workload is traced end to end and
+compared epoch-by-epoch against ``tests/data/golden_trace.json``: the
+chosen materialized set, the boundary adds/drops, the hot set, the
+granted what-if budget, the improvement ratio, and the costs.  Any
+change to profiling, re-budgeting, the knapsack, or the scheduler that
+shifts a single decision fails loudly with the first diverging epoch.
+
+When a change *intentionally* alters tuner behaviour, regenerate with:
+
+    GOLDEN_REGEN=1 PYTHONPATH=src python -m pytest \
+        tests/bench/test_golden_trace.py -q
+"""
+
+import json
+import os
+import pathlib
+
+import pytest
+
+from repro.bench.tracing import TunerTrace, trace_run
+from repro.core import ColtConfig
+from repro.workload.datagen import build_catalog
+from repro.workload.experiments import phase_distributions
+from repro.workload.phases import shifting_workload
+
+GOLDEN_PATH = pathlib.Path(__file__).parent.parent / "data" / "golden_trace.json"
+
+PHASE_LENGTH = 60
+TRANSITION = 10
+BUDGET_PAGES = 9_000.0
+SEED = 0
+
+
+def _traced_run():
+    catalog = build_catalog()
+    workload = shifting_workload(
+        phase_distributions(),
+        catalog,
+        phase_length=PHASE_LENGTH,
+        transition=TRANSITION,
+        seed=SEED,
+    )
+    config = ColtConfig(storage_budget_pages=BUDGET_PAGES, seed=SEED)
+    return trace_run(catalog, workload.queries, config)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return _traced_run()
+
+
+def test_golden_trace_exists_or_regenerates(trace):
+    if os.environ.get("GOLDEN_REGEN") == "1":
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(trace.to_json(indent=2) + "\n")
+    assert GOLDEN_PATH.exists(), (
+        "golden trace missing -- regenerate with GOLDEN_REGEN=1 (see module "
+        "docstring)"
+    )
+
+
+def test_trace_matches_golden(trace):
+    golden = TunerTrace.from_json(GOLDEN_PATH.read_text())
+    assert len(trace.epochs) == len(golden.epochs)
+    for current, pinned in zip(trace.epochs, golden.epochs):
+        label = f"epoch {pinned.epoch}"
+        # Decisions: exact.
+        assert current.materialized == pinned.materialized, label
+        assert current.added == pinned.added, label
+        assert current.dropped == pinned.dropped, label
+        assert current.hot == pinned.hot, label
+        assert current.whatif_used == pinned.whatif_used, label
+        assert current.budget_granted == pinned.budget_granted, label
+        # Costs/ratios: floats through a JSON round trip, so approx at
+        # tight tolerance (repr round-trips exactly; this guards only
+        # against accumulation-order changes that are real regressions
+        # anyway).
+        assert current.improvement_ratio == pytest.approx(
+            pinned.improvement_ratio, rel=1e-12
+        ), label
+        assert current.execution_cost == pytest.approx(
+            pinned.execution_cost, rel=1e-12
+        ), label
+        assert current.total_cost == pytest.approx(
+            pinned.total_cost, rel=1e-12
+        ), label
+
+
+def test_total_cost_matches_golden(trace):
+    golden = TunerTrace.from_json(GOLDEN_PATH.read_text())
+    assert trace.total_cost == pytest.approx(golden.total_cost, rel=1e-12)
+    assert trace.total_whatif == golden.total_whatif
+
+
+def test_golden_config_round_trips_current_fields(trace):
+    # from_json rebuilds ColtConfig(**data["config"]): the pinned file
+    # must carry every current config field (catches forgotten
+    # regeneration after a config-schema change).
+    golden = json.loads(GOLDEN_PATH.read_text())
+    import dataclasses
+
+    current_fields = {f.name for f in dataclasses.fields(ColtConfig)}
+    assert set(golden["config"]) == current_fields

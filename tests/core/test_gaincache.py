@@ -1,0 +1,293 @@
+"""Unit tests for the cross-query what-if gain cache.
+
+The differential harness (test_gaincache_differential.py) proves the
+end-to-end equivalence; these tests pin the mechanisms it relies on --
+the structural-zero rule, exact-key replay, every invalidation path,
+and the metrics contract.
+"""
+
+import random
+
+import pytest
+
+from repro.core import ColtConfig, ColtTuner
+from repro.core.gaincache import (
+    GainCache,
+    query_signature,
+    referenced_columns,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.optimizer.optimizer import Optimizer
+from repro.optimizer.whatif import WhatIfOptimizer
+from repro.sql.binder import bind_query
+from repro.sql.parser import parse_query
+from repro.workload.datagen import build_catalog
+
+
+def _query(catalog, sql):
+    return bind_query(parse_query(sql), catalog)
+
+
+@pytest.fixture()
+def catalog():
+    return build_catalog()
+
+
+@pytest.fixture()
+def whatif(catalog):
+    return WhatIfOptimizer(Optimizer(catalog))
+
+
+@pytest.fixture()
+def cache(catalog, whatif):
+    return GainCache(catalog, whatif, enabled=True, ttl_epochs=3)
+
+
+ORDERS_SQL = "select * from orders_1 where o_custkey = 42"
+
+
+class TestStructuralZero:
+    def test_unreferenced_index_served_as_exact_zero(self, catalog, whatif, cache):
+        query = _query(catalog, ORDERS_SQL)
+        ctx = cache.begin_query(query)
+        # An index on a column the query never references: the
+        # optimizer strips it from the relevant configuration, so the
+        # probe's forward and reverse costs coincide.
+        other = catalog.index_for("orders_1", "o_totalprice")
+        assert ctx.lookup(other) == 0.0
+        assert cache.hits_structural == 1
+        assert whatif.call_count == 0
+
+    def test_structural_zero_matches_real_probe(self, catalog, whatif, cache):
+        query = _query(catalog, ORDERS_SQL)
+        session = whatif.begin_query(query)
+        other = catalog.index_for("orders_1", "o_totalprice")
+        real = whatif.what_if_optimize(session, [other])[other]
+        ctx = cache.begin_query(query)
+        assert ctx.lookup(other) == real == 0.0
+
+    def test_referenced_index_is_not_a_structural_zero(self, catalog, cache):
+        query = _query(catalog, ORDERS_SQL)
+        ctx = cache.begin_query(query)
+        probed = catalog.index_for("orders_1", "o_custkey")
+        assert ctx.lookup(probed) is None
+        assert cache.misses == 1
+
+    def test_join_columns_count_as_referenced(self, catalog):
+        query = _query(
+            catalog,
+            "select * from orders_1, customer_1 "
+            "where orders_1.o_custkey = customer_1.c_custkey",
+        )
+        refs = referenced_columns(query)
+        assert ("orders_1", "o_custkey") in refs
+        assert ("customer_1", "c_custkey") in refs
+
+
+class TestExactKeyReplay:
+    def test_stored_gain_replays_for_identical_query(self, catalog, whatif, cache):
+        query = _query(catalog, ORDERS_SQL)
+        session = whatif.begin_query(query)
+        index = catalog.index_for("orders_1", "o_custkey")
+        gain = whatif.what_if_optimize(session, [index])[index]
+        assert gain > 0.0
+
+        ctx = cache.begin_query(query)
+        assert ctx.lookup(index) is None  # miss: nothing stored yet
+        ctx.store(index, gain)
+
+        replay = cache.begin_query(_query(catalog, ORDERS_SQL))
+        assert replay.lookup(index) == gain
+        assert cache.hits_exact == 1
+
+    def test_different_literal_is_a_different_key(self, catalog, cache):
+        index = catalog.index_for("orders_1", "o_custkey")
+        ctx = cache.begin_query(_query(catalog, ORDERS_SQL))
+        ctx.lookup(index)
+        ctx.store(index, 5.0)
+        other = cache.begin_query(
+            _query(catalog, "select * from orders_1 where o_custkey = 43")
+        )
+        assert other.lookup(index) is None
+
+    def test_changed_relevant_config_is_a_different_key(self, catalog, cache):
+        index = catalog.index_for("orders_1", "o_custkey")
+        ctx = cache.begin_query(_query(catalog, ORDERS_SQL))
+        ctx.lookup(index)
+        ctx.store(index, 5.0)
+        # Materializing an index on the referenced column changes the
+        # relevant-config signature: the stored entry must not alias.
+        catalog.materialize_index(index)
+        try:
+            after = cache.begin_query(_query(catalog, ORDERS_SQL))
+            assert after.lookup(index) is None
+        finally:
+            catalog.drop_index(index)
+
+    def test_stats_token_mismatch_invalidates_on_lookup(self, catalog, cache):
+        index = catalog.index_for("orders_1", "o_custkey")
+        ctx = cache.begin_query(_query(catalog, ORDERS_SQL))
+        ctx.lookup(index)
+        ctx.store(index, 5.0)
+        catalog.table("orders_1").row_count += 1000
+        try:
+            stale = cache.begin_query(_query(catalog, ORDERS_SQL))
+            assert stale.lookup(index) is None
+        finally:
+            catalog.table("orders_1").row_count -= 1000
+
+    def test_signature_distinguishes_literal_types(self):
+        # The binder normally coerces literals to the column type; the
+        # signature stays type-tagged anyway so equal-but-differently-
+        # typed values (1 == 1.0, same hash) can never alias a key.
+        from repro.sql.ast import ColumnExpr, CompareOp, ComparisonPredicate, Query
+
+        def q(value):
+            return Query(
+                tables=["orders_1"],
+                filters=[
+                    ComparisonPredicate(
+                        ColumnExpr("o_custkey", "orders_1"), CompareOp.EQ, value
+                    )
+                ],
+            )
+
+        assert query_signature(q(1)) != query_signature(q(1.0))
+        assert query_signature(q(1)) == query_signature(q(1))
+
+
+class TestInvalidation:
+    def _seed_entry(self, catalog, cache, sql=ORDERS_SQL, gain=5.0):
+        index = catalog.index_for("orders_1", "o_custkey")
+        ctx = cache.begin_query(_query(catalog, sql))
+        ctx.lookup(index)
+        ctx.store(index, gain)
+        return index
+
+    def test_invalidate_indexes_drops_referencing_entries(self, catalog, cache):
+        index = self._seed_entry(catalog, cache)
+        dropped = cache.invalidate_indexes([index])
+        assert dropped == 1
+        assert len(cache) == 0
+
+    def test_invalidate_indexes_spares_unrelated_entries(self, catalog, cache):
+        self._seed_entry(catalog, cache)
+        unrelated = catalog.index_for("part_1", "p_size")
+        assert cache.invalidate_indexes([unrelated]) == 0
+        assert len(cache) == 1
+
+    def test_invalidate_table_drops_entries_touching_it(self, catalog, cache):
+        self._seed_entry(catalog, cache)
+        assert cache.invalidate_table("orders_1") == 1
+        assert cache.invalidate_table("part_1") == 0
+
+    def test_set_stats_bumps_the_stats_version(self, catalog):
+        before = catalog.stats_version("orders_1")
+        catalog.set_stats(
+            "orders_1", "o_custkey", catalog.stats("orders_1", "o_custkey")
+        )
+        assert catalog.stats_version("orders_1") == before + 1
+
+    def test_roll_epoch_ages_out_unused_entries(self, catalog, cache):
+        self._seed_entry(catalog, cache)
+        for _ in range(cache.ttl_epochs + 1):
+            cache.roll_epoch()
+        assert len(cache) == 0
+
+    def test_clear_empties_the_cache(self, catalog, cache):
+        self._seed_entry(catalog, cache)
+        assert cache.clear(reason="rebalance") == 1
+        assert len(cache) == 0
+
+    def test_capacity_eviction(self, catalog, whatif):
+        small = GainCache(catalog, whatif, enabled=True, max_entries=1)
+        index = catalog.index_for("orders_1", "o_custkey")
+        for value in (41, 42):
+            sql = f"select * from orders_1 where o_custkey = {value}"
+            ctx = small.begin_query(_query(catalog, sql))
+            ctx.lookup(index)
+            ctx.store(index, float(value))
+        assert len(small) == 1
+
+
+class TestTunerIntegration:
+    def test_scheduler_change_invalidates_cache(self, catalog):
+        tuner = ColtTuner(catalog, ColtConfig(gain_cache=True))
+        cache = tuner.profiler.gain_cache
+        index = catalog.index_for("orders_1", "o_custkey")
+        ctx = cache.begin_query(_query(catalog, ORDERS_SQL))
+        ctx.lookup(index)
+        ctx.store(index, 5.0)
+        tuner.scheduler.request_materialization([index])
+        assert len(cache) == 0
+        assert cache.invalidations >= 1
+
+    def test_process_insert_invalidates_table(self, catalog):
+        tuner = ColtTuner(catalog, ColtConfig(gain_cache=True))
+        cache = tuner.profiler.gain_cache
+        index = catalog.index_for("orders_1", "o_custkey")
+        ctx = cache.begin_query(_query(catalog, ORDERS_SQL))
+        ctx.lookup(index)
+        ctx.store(index, 5.0)
+        tuner.process_insert("orders_1", count=10)
+        assert len(cache) == 0
+
+    def test_disabled_by_default_and_profiler_skips_it(self, catalog):
+        tuner = ColtTuner(catalog, ColtConfig())
+        assert tuner.profiler.gain_cache.enabled is False
+        rng = random.Random(1)
+        for _ in range(15):
+            key = rng.randint(1, 10_000)
+            tuner.process_query(
+                _query(
+                    catalog,
+                    f"select * from orders_1 where o_custkey = {key}",
+                )
+            )
+        assert tuner.profiler.gain_cache.hits == 0
+        assert len(tuner.profiler.gain_cache) == 0
+
+    def test_enabled_tuner_records_hits_on_mixed_workload(self, catalog):
+        # Two query shapes on the same table, each referencing only one
+        # column: each cluster's relevant hot set then contains the
+        # *other* column's index (same-table relevance), whose probe is
+        # a structural zero the cache serves without a what-if call.
+        tuner = ColtTuner(
+            catalog,
+            ColtConfig(gain_cache=True, storage_budget_pages=9_000.0),
+        )
+        rng = random.Random(1)
+        for i in range(60):
+            if i % 2:
+                sql = (
+                    "select * from orders_1 where o_custkey = "
+                    f"{rng.randint(1, 10_000)}"
+                )
+            else:
+                sql = (
+                    "select * from orders_1 where o_totalprice > "
+                    f"{rng.uniform(100.0, 200.0):.2f}"
+                )
+            tuner.process_query(_query(catalog, sql))
+        assert tuner.profiler.gain_cache.hits > 0
+
+    def test_metric_families_registered_even_when_disabled(self, catalog):
+        registry = MetricsRegistry()
+        ColtTuner(catalog, ColtConfig(), registry=registry)
+        names = set(registry.names())
+        assert {
+            "gaincache_hits_total",
+            "gaincache_misses_total",
+            "gaincache_stores_total",
+            "gaincache_invalidations_total",
+            "gaincache_entries",
+        } <= names
+
+    def test_hit_metrics_track_plain_counters(self, catalog, whatif):
+        registry = MetricsRegistry()
+        cache = GainCache(catalog, whatif, enabled=True, registry=registry)
+        query = _query(catalog, ORDERS_SQL)
+        ctx = cache.begin_query(query)
+        ctx.lookup(catalog.index_for("orders_1", "o_totalprice"))
+        hits = registry.get("gaincache_hits_total")
+        assert hits.value(kind="structural") == cache.hits_structural == 1

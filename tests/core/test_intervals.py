@@ -91,3 +91,88 @@ class TestGainStats:
             stats.add(v)
         lo, hi = stats.interval()
         assert lo - 1e-9 <= stats.mean <= hi + 1e-9
+
+
+class TestIntervalProperties:
+    """Property tests for the CLT interval's structural guarantees."""
+
+    @staticmethod
+    def _stats(samples):
+        stats = GainStats()
+        for v in samples:
+            stats.add(v)
+        return stats
+
+    @given(samples=st.lists(st.floats(-1e4, 1e4), min_size=2, max_size=50))
+    @settings(max_examples=80, deadline=None)
+    def test_half_width_shrinks_when_the_mean_repeats(self, samples):
+        # The CLT half-width is z * stddev / sqrt(n): a new sample at
+        # the current mean leaves the dispersion numerator unchanged
+        # while n grows, so the interval must tighten (never widen).
+        # This is the monotone-shrink property stated sample-by-sample;
+        # arbitrary new samples may legitimately widen the interval by
+        # raising the variance faster than sqrt(n) grows.
+        stats = self._stats(samples)
+        widths = []
+        for _ in range(4):
+            widths.append(stats.half_width())
+            stats.add(stats.mean)
+        assert all(a >= b - 1e-12 for a, b in zip(widths, widths[1:]))
+
+    @given(
+        value=st.floats(-1e4, 1e4),
+        count=st.integers(min_value=2, max_value=60),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_identical_samples_shrink_monotonically_to_zero(self, value, count):
+        stats = GainStats()
+        stats.add(value)
+        stats.add(value)
+        previous = stats.half_width()
+        for _ in range(count):
+            stats.add(value)
+            width = stats.half_width()
+            assert width <= previous + 1e-12
+            previous = width
+        assert previous == pytest.approx(0.0, abs=1e-9)
+
+    @given(samples=st.lists(st.floats(-1e4, 1e4), min_size=1, max_size=50))
+    @settings(max_examples=80, deadline=None)
+    def test_upper_bound_always_covers_the_mean(self, samples):
+        # interval() floors the low end at 0 (a negative average gain is
+        # treated as "no gain" by the conservative side), so for
+        # negative means only the upper bound is a true CLT bound: it
+        # must still sit at or above the sample mean.
+        stats = self._stats(samples)
+        _lo, hi = stats.interval()
+        assert hi >= stats.mean - 1e-9
+
+    @given(samples=st.lists(st.floats(0, 1e4), min_size=1, max_size=50))
+    @settings(max_examples=80, deadline=None)
+    def test_interval_contains_nonnegative_means(self, samples):
+        # With the zero floor inactive (mean >= 0 and low <= mean by
+        # construction) the interval is a genuine two-sided cover.
+        stats = self._stats(samples)
+        lo, hi = stats.interval()
+        assert lo <= stats.mean + 1e-9
+        assert hi >= stats.mean - 1e-9
+        assert lo >= 0.0
+
+    def test_degenerate_zero_samples_is_maximally_conservative(self):
+        stats = GainStats()
+        assert math.isinf(stats.half_width())
+        lo, hi = stats.interval()
+        assert lo == 0.0
+        assert math.isinf(hi)
+
+    @given(value=st.floats(-1e4, 1e4))
+    @settings(max_examples=80, deadline=None)
+    def test_degenerate_single_sample_uses_the_conservative_bound(self, value):
+        # One sample has no measurable dispersion: the half-width falls
+        # back to half the observed magnitude rather than claiming a
+        # zero-width (overconfident) interval.
+        stats = GainStats()
+        stats.add(value)
+        assert stats.half_width() == pytest.approx(0.5 * abs(value))
+        _lo, hi = stats.interval()
+        assert hi == pytest.approx(value + 0.5 * abs(value))

@@ -16,6 +16,7 @@ from repro.obs.export import to_prometheus_text
 from repro.obs.names import (
     CATALOG,
     FLEET_METRICS,
+    GAINCACHE_METRICS,
     PROFILER_METRICS,
     RESILIENCE_METRICS,
     SCHEDULER_METRICS,
@@ -35,6 +36,7 @@ class TestCatalogShape:
         union = {
             **TUNER_METRICS,
             **PROFILER_METRICS,
+            **GAINCACHE_METRICS,
             **SCHEDULER_METRICS,
             **RESILIENCE_METRICS,
             **FLEET_METRICS,
@@ -79,6 +81,7 @@ class TestLiveRegistration:
         expected = (
             set(TUNER_METRICS)
             | set(PROFILER_METRICS)
+            | set(GAINCACHE_METRICS)
             | set(SCHEDULER_METRICS)
             | set(RESILIENCE_METRICS)
         )

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""CI gate: assert a metrics snapshot recorded gain-cache hits.
+
+Reads a JSON metrics snapshot (``--metrics-out`` format, single or
+fleet-merged), sums the ``gaincache_hits_total`` samples across all
+label sets, prints a small hit/miss summary, and exits non-zero when
+the run produced no hits at all -- which would mean the cache was off,
+broken, or starved by the smoke workload.
+
+Usage:
+    python tools/check_gaincache_hits.py fleet-smoke/metrics.json
+"""
+
+import json
+import sys
+
+
+def _family_total(snapshot, name):
+    for family in snapshot.get("metrics", []):
+        if family["name"] == name:
+            return sum(sample["value"] for sample in family["samples"])
+    return 0.0
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(argv[1]) as handle:
+        snapshot = json.load(handle)
+
+    hits = _family_total(snapshot, "gaincache_hits_total")
+    misses = _family_total(snapshot, "gaincache_misses_total")
+    probed = hits + misses
+    rate = hits / probed if probed else 0.0
+    print(
+        f"gaincache: {hits:.0f} hits / {misses:.0f} misses "
+        f"(hit rate {rate:.1%})"
+    )
+    if hits <= 0:
+        print(
+            "FAIL: no gain-cache hits recorded -- was the run started "
+            "with --gain-cache on?",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
