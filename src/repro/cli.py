@@ -17,6 +17,9 @@ Exposes the reproduction's experiments and a few interactive utilities::
     python -m repro fleet-run              # replicated tuning fleet behind a
                                            #   workload-aware query router
     python -m repro fleet-status DIR       # inspect a saved fleet snapshot
+                                           #   (+ quarantine/rollout, --json)
+    python -m repro audit                  # guardrail audit: predicted vs
+                                           #   observed index benefit
     python -m repro demo                   # 60-second COLT walkthrough
 
 Every experiment prints the same series the corresponding figure of the
@@ -241,12 +244,66 @@ def build_parser() -> argparse.ArgumentParser:
         default="off",
         help="per-replica cross-query what-if gain cache",
     )
+    pf.add_argument(
+        "--guardrails",
+        choices=("on", "off"),
+        default="off",
+        help="per-replica verification/quarantine plus staged canary "
+        "rollout of new indexes (see docs/GUARDRAILS.md)",
+    )
 
     pg = sub.add_parser(
         "fleet-status",
         help="inspect a fleet snapshot directory written by fleet-run",
     )
     pg.add_argument("dir", help="fleet snapshot directory")
+    pg.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the status document as JSON instead of a table",
+    )
+
+    pd = sub.add_parser(
+        "audit",
+        help="guardrail audit: predicted vs observed benefit per index",
+    )
+    pd.add_argument(
+        "--scenario",
+        choices=("misleading", "clean"),
+        default="misleading",
+        help="misleading: statistics over-promise one index; "
+        "clean: truthful statistics (control arm)",
+    )
+    pd.add_argument(
+        "--guardrails",
+        choices=("on", "off"),
+        default="on",
+        help="verification + quarantine on the audited run",
+    )
+    pd.add_argument(
+        "--queries", type=int, default=360, help="workload length"
+    )
+    pd.add_argument("--seed", type=int, default=0, help="workload RNG seed")
+    pd.add_argument(
+        "--advice",
+        default=None,
+        metavar="FILE",
+        help="DBA advice file (pin/ban/prefer lines; requires guardrails on)",
+    )
+    pd.add_argument(
+        "--compare",
+        action="store_true",
+        help="also run the opposite guardrail arm and report the observed "
+        "regret saved (exit 1 if guardrails do not win on the misleading "
+        "scenario)",
+    )
+    pd.add_argument(
+        "--json",
+        dest="json_out",
+        default=None,
+        metavar="PATH",
+        help="write the audit document as JSON",
+    )
 
     sub.add_parser("demo", help="a 60-second COLT walkthrough")
     return parser
@@ -287,6 +344,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             _run_fleet(args)
         elif args.command == "fleet-status":
             _run_fleet_status(args)
+        elif args.command == "audit":
+            _run_audit(args)
         elif args.command == "demo":
             _run_demo()
     except (LexError, ParseError) as exc:
@@ -494,6 +553,7 @@ def _run_metrics(args) -> None:
 def _run_fleet(args) -> None:
     from repro.core.config import ColtConfig
     from repro.fleet import FleetCoordinator, save_fleet
+    from repro.guardrails import GuardrailConfig
     from repro.workload import build_catalog, multi_client_workload, shifting_workload
     from repro.workload.experiments import phase_distributions
 
@@ -522,16 +582,21 @@ def _run_fleet(args) -> None:
         ),
         policy=args.policy,
         fleet_epoch_length=args.fleet_epoch,
+        guardrails=GuardrailConfig() if args.guardrails == "on" else None,
     )
     run = fleet.run(merged)
 
     print(f"workload: {merged.description}")
     print(f"policy:   {run.policy} ({args.replicas} replicas)\n")
-    print(f"{'replica':>8} {'health':>9} {'queries':>8} {'|M|':>4} {'exec cost':>14}")
+    print(
+        f"{'replica':>8} {'health':>9} {'queries':>8} {'|M|':>4} "
+        f"{'quar':>4} {'exec cost':>14}"
+    )
     for replica in fleet.replicas:
         print(
             f"{replica.replica_id:>8} {replica.health.value:>9} "
             f"{replica.stats.queries:>8} {len(replica.materialized_names):>4} "
+            f"{len(replica.quarantined_names):>4} "
             f"{replica.stats.execution_cost:>14,.0f}"
         )
     drains = sorted({i for r in run.reorganizations for i in r.drained})
@@ -543,6 +608,22 @@ def _run_fleet(args) -> None:
         f"reorganizations:      {len(run.reorganizations):>14}"
         + (f" (drained: {drains})" if drains else "")
     )
+    if fleet.rollout is not None:
+        started = sum(
+            len(r.rollout.started) for r in run.reorganizations if r.rollout
+        )
+        promoted = sum(
+            len(r.rollout.promoted) for r in run.reorganizations if r.rollout
+        )
+        rolled_back = sum(
+            len(r.rollout.rolled_back)
+            for r in run.reorganizations
+            if r.rollout
+        )
+        print(
+            f"rollouts:             {started:>14}"
+            f" (promoted: {promoted}, rolled back: {rolled_back})"
+        )
     if args.snapshot_dir:
         path = save_fleet(args.snapshot_dir, fleet)
         print(f"\nfleet snapshot saved: {path}")
@@ -553,31 +634,228 @@ def _run_fleet(args) -> None:
         print(f"\nmetrics snapshot written: {args.metrics_out} ({fmt})")
 
 
-def _run_fleet_status(args) -> None:
+def _fleet_status_document(directory) -> dict:
+    """Machine-readable fleet status: manifest, integrity, guardrails."""
     import pathlib
 
     from repro.fleet import load_manifest
     from repro.persist import checksum, load_json
 
-    root = pathlib.Path(args.dir)
+    root = pathlib.Path(directory)
     manifest = load_manifest(root)
-    print(
-        f"{root}: fleet of {len(manifest['replicas'])} "
-        f"(policy {manifest['policy']}, "
-        f"{manifest['queries_routed']} queries routed)"
-    )
-    print(f"{'replica':>8} {'health':>9} {'queries':>8} {'|M|':>4}  snapshot")
+    replicas = []
     for entry in sorted(manifest["replicas"], key=lambda e: e["replica_id"]):
         try:
             snap = load_json(root / entry["file"])
             state = "OK" if checksum(snap) == entry["checksum"] else "MISMATCH"
         except SnapshotError as exc:
             state = f"CORRUPT ({exc})"
+        replicas.append(
+            {
+                "replica_id": entry["replica_id"],
+                "health": entry["health"],
+                "queries": entry["queries"],
+                "materialized": entry["materialized"],
+                "quarantined": list(entry.get("quarantined", [])),
+                "file": entry["file"],
+                "integrity": state,
+            }
+        )
+    rollout = manifest.get("rollout")
+    rollouts = []
+    if rollout:
+        for record in rollout.get("records", []):
+            rollouts.append(
+                {
+                    "index": f"{record['table']}.{'+'.join(record['columns'])}",
+                    "stage": record["stage"],
+                    "canary": record.get("canary_id"),
+                    "cooldown_remaining": record.get("cooldown_remaining", 0),
+                }
+            )
+    return {
+        "directory": str(root),
+        "policy": manifest["policy"],
+        "queries_routed": manifest["queries_routed"],
+        "replicas": replicas,
+        "rollouts": rollouts,
+    }
+
+
+def _run_fleet_status(args) -> None:
+    import json
+
+    doc = _fleet_status_document(args.dir)
+    if args.json:
+        print(json.dumps(doc, indent=1))
+        return
+    print(
+        f"{doc['directory']}: fleet of {len(doc['replicas'])} "
+        f"(policy {doc['policy']}, "
+        f"{doc['queries_routed']} queries routed)"
+    )
+    print(
+        f"{'replica':>8} {'health':>9} {'queries':>8} {'|M|':>4} "
+        f"{'quarantined':>24}  snapshot"
+    )
+    for entry in doc["replicas"]:
+        quarantined = ",".join(entry["quarantined"]) or "-"
         print(
             f"{entry['replica_id']:>8} {entry['health']:>9} "
-            f"{entry['queries']:>8} {entry['materialized']:>4}  "
-            f"{entry['file']}: {state}"
+            f"{entry['queries']:>8} {entry['materialized']:>4} "
+            f"{quarantined:>24}  {entry['file']}: {entry['integrity']}"
         )
+    if doc["rollouts"]:
+        print("\nstaged rollouts:")
+        for record in doc["rollouts"]:
+            extra = ""
+            if record["stage"] == "canary":
+                extra = f" (canary: replica {record['canary']})"
+            elif record["stage"] == "rolled_back":
+                extra = f" (cooldown: {record['cooldown_remaining']})"
+            print(f"  {record['index']:<28} {record['stage']}{extra}")
+
+
+def _audit_arm(scenario: str, guardrails: bool, args) -> dict:
+    """Run one guardrail arm of the audit scenario; observed-cost regret."""
+    from repro.core.colt import ColtTuner
+    from repro.core.config import ColtConfig
+    from repro.executor.executor import execute
+    from repro.executor.instrument import CountingStore
+    from repro.guardrails import (
+        AdviceBook,
+        ExecutionObserver,
+        GuardrailConfig,
+        GuardrailManager,
+    )
+    from repro.guardrails.verify import observed_cost
+    from repro.workload import build_adversarial_store, misleading_workload
+
+    # "clean" means clean end to end: uniform data AND truthful stats.
+    # (Skewed data defeats ANALYZE's uniform-selectivity model even when
+    # nobody lies, so it would not exercise the no-false-positive path.)
+    mislead = scenario == "misleading"
+    store = build_adversarial_store(
+        mislead=mislead, skew_fraction=0.85 if mislead else 0.0
+    )
+    catalog = store.catalog
+    workload = misleading_workload(catalog, length=args.queries, seed=args.seed)
+    manager = None
+    if guardrails:
+        advice = AdviceBook.load(args.advice) if args.advice else None
+        manager = GuardrailManager(
+            config=GuardrailConfig(),
+            observer=ExecutionObserver(store),
+            advice=advice,
+        )
+    tuner = ColtTuner(
+        catalog,
+        ColtConfig(epoch_length=20, storage_budget_pages=200.0),
+        store=store,
+        guardrails=manager,
+    )
+    counting = CountingStore(store)
+    observed = overhead = 0.0
+    for query in workload.queries:
+        # Price the plan the tuner is about to choose *before* handing
+        # the query over: an epoch boundary inside run() may drop the
+        # index (and its physical tree) the plan references.
+        plan = tuner.optimizer.optimize(query).plan
+        counting.counters.reset()
+        execute(plan, counting)
+        observed += observed_cost(counting.counters, catalog.params)
+        overhead += tuner.run([query])[0].verify_overhead
+    return {
+        "guardrails": guardrails,
+        "observed_cost": observed,
+        "verify_overhead": overhead,
+        "materialized": sorted(ix.name for ix in tuner.materialized_set),
+        "quarantined": sorted(
+            entry.index.name for entry in manager.quarantine.entries
+        )
+        if manager is not None
+        else [],
+        "rows": manager.audit(tuner.materialized_set)
+        if manager is not None
+        else [],
+    }
+
+
+def _run_audit(args) -> None:
+    import json
+
+    primary_on = args.guardrails == "on"
+    arm = _audit_arm(args.scenario, primary_on, args)
+    print(
+        f"scenario: {args.scenario} ({args.queries} queries, "
+        f"seed {args.seed}); guardrails {'on' if primary_on else 'off'}"
+    )
+    print(f"observed execution cost: {arm['observed_cost']:,.0f}")
+    print(f"verification overhead:   {arm['verify_overhead']:,.0f}")
+    print(f"materialized: {', '.join(arm['materialized']) or '(none)'}")
+    if arm["rows"]:
+        print(
+            f"\n{'index':<20} {'mat':>3} {'n':>3} {'pred%':>7} "
+            f"{'obs%':>7} {'ratio':>7} {'verdict':>9}  quarantine"
+        )
+        for row in arm["rows"]:
+            flags = []
+            if row["pinned"]:
+                flags.append("pinned")
+            if row["banned"]:
+                flags.append("banned")
+            quarantine = row["quarantine"]
+            if quarantine is not None:
+                flags.append(
+                    f"{quarantine['state']}"
+                    f" (cooldown {quarantine['cooldown_remaining']},"
+                    f" strikes {quarantine['strikes']})"
+                )
+            print(
+                f"{row['index']:<20} {'Y' if row['materialized'] else '-':>3} "
+                f"{row['samples']:>3} {_pct(row['predicted_fraction']):>7} "
+                f"{_pct(row['observed_fraction']):>7} "
+                f"{_num(row['ratio']):>7} {row['verdict']:>9}  "
+                f"{'; '.join(flags) or '-'}"
+            )
+    document = {
+        "scenario": args.scenario,
+        "queries": args.queries,
+        "seed": args.seed,
+        "arms": {("on" if primary_on else "off"): arm},
+    }
+    if args.compare:
+        other = _audit_arm(args.scenario, not primary_on, args)
+        document["arms"]["off" if primary_on else "on"] = other
+        on_arm = document["arms"]["on"]
+        off_arm = document["arms"]["off"]
+        savings = 1.0 - on_arm["observed_cost"] / max(
+            off_arm["observed_cost"], 1e-9
+        )
+        document["regret_saved"] = savings
+        print(
+            f"\nobserved cost, guardrails on vs off: "
+            f"{on_arm['observed_cost']:,.0f} vs {off_arm['observed_cost']:,.0f}"
+            f" ({savings:+.1%} regret saved)"
+        )
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            json.dump(document, handle, indent=1)
+        print(f"\naudit document written: {args.json_out}")
+    if args.compare and args.scenario == "misleading":
+        if document["regret_saved"] <= 0.0:
+            raise ValueError(
+                "guardrails did not reduce observed regret on the "
+                "misleading scenario"
+            )
+
+
+def _pct(value) -> str:
+    return "-" if value is None else f"{value:.1%}"
+
+
+def _num(value) -> str:
+    return "-" if value is None else f"{value:.2f}"
 
 
 def _run_demo() -> None:

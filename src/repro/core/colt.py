@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import dataclasses
 import time
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.core.config import ColtConfig
 from repro.core.profiler import Profiler
@@ -33,6 +33,9 @@ from repro.resilience.breaker import CircuitBreaker
 from repro.resilience.faults import FaultInjector
 from repro.resilience.retry import RetryPolicy
 from repro.sql.ast import Query
+
+if TYPE_CHECKING:  # avoid repro.core <-> repro.guardrails import cycle
+    from repro.guardrails.manager import GuardrailManager
 
 
 @dataclasses.dataclass
@@ -65,6 +68,10 @@ class QueryOutcome:
             configuration in force when the query ran.
         whatif_calls: What-if calls spent profiling this query.
         whatif_overhead: Cost units charged for those calls.
+        verify_calls: Guardrail verification probes spent on this query
+            (0 with no guardrail manager attached).
+        verify_overhead: Cost units charged for those probes (optimizer
+            calls plus any shadow-execution charge).
         build_cost: Index build cost charged at the epoch boundary this
             query closed (0 otherwise).
         total_cost: Sum of the above -- the COLT-side response-time
@@ -86,6 +93,8 @@ class QueryOutcome:
     build_cost: float
     total_cost: float
     plan: Optional[PlanNode]
+    verify_calls: int = 0
+    verify_overhead: float = 0.0
     epoch_ended: bool = False
     reorganization: Optional[ReorganizationResult] = None
     error: Optional[BaseException] = None
@@ -116,6 +125,11 @@ class ColtTuner:
             components; defaults to a fresh enabled one.  Pass
             ``MetricsRegistry(enabled=False)`` for a zero-overhead
             no-op registry.
+        guardrails: Optional :class:`~repro.guardrails.manager.
+            GuardrailManager` closing the predict->observe->act loop:
+            per-query observed-cost verification, quarantine of
+            over-promised indexes, and DBA pin/ban/prefer constraints
+            on reorganization.  None (the default) changes nothing.
 
     Attributes:
         tracer: Span tracer timing queries and epoch closes.
@@ -132,6 +146,7 @@ class ColtTuner:
         retry: Optional[RetryPolicy] = None,
         fault_injector: Optional[FaultInjector] = None,
         registry: Optional[MetricsRegistry] = None,
+        guardrails: Optional["GuardrailManager"] = None,
     ) -> None:
         self.catalog = catalog
         self.config = config or ColtConfig()
@@ -181,6 +196,9 @@ class ColtTuner:
         self.self_organizer.materialized = set(catalog.materialized_indexes())
         self._m_materialized.set(len(self.self_organizer.materialized))
         self._m_budget.set(self.profiler.whatif_budget)
+        self.guardrails = guardrails
+        if guardrails is not None:
+            guardrails.attach(self)
 
     # ------------------------------------------------------------------
     @property
@@ -221,6 +239,19 @@ class ColtTuner:
                 materialized=self.self_organizer.materialized,
             )
 
+            verify_calls = 0
+            verify_overhead = 0.0
+            if self.guardrails is not None:
+                # Verification probes re-optimize directly (bypassing
+                # the what-if call counter), so profiling accounting
+                # above stays untouched; their cost is charged here.
+                verify_calls, verify_charge = self.guardrails.observe_query(
+                    session, self.self_organizer.materialized
+                )
+                verify_overhead = (
+                    verify_calls * self.config.whatif_call_cost + verify_charge
+                )
+
             self._queries_seen += 1
             build_cost = 0.0
             reorg: Optional[ReorganizationResult] = None
@@ -252,8 +283,13 @@ class ColtTuner:
             whatif_calls=whatif_calls,
             whatif_overhead=whatif_overhead,
             build_cost=build_cost,
-            total_cost=session.base.cost + whatif_overhead + build_cost,
+            total_cost=session.base.cost
+            + whatif_overhead
+            + verify_overhead
+            + build_cost,
             plan=session.base.plan,
+            verify_calls=verify_calls,
+            verify_overhead=verify_overhead,
             epoch_ended=epoch_ended,
             reorganization=reorg,
         )
@@ -403,7 +439,21 @@ class ColtTuner:
         )
         inserts = self._epoch_inserts
         self._epoch_inserts = {}
-        return self.self_organizer.end_epoch(report, self.profiler, inserts=inserts)
+        constraints = None
+        decisions = None
+        if self.guardrails is not None:
+            # Guardrail verdicts land first, so a fresh quarantine is
+            # already a hard ban for this boundary's knapsack (the
+            # banned index falls out of the selection and is dropped).
+            decisions = self.guardrails.end_epoch(self.self_organizer.materialized)
+            constraints = self.guardrails.constraints() or None
+        reorg = self.self_organizer.end_epoch(
+            report, self.profiler, inserts=inserts, constraints=constraints
+        )
+        if decisions is not None:
+            reorg.quarantined = decisions.quarantined
+            reorg.released = decisions.released
+        return reorg
 
     def _apply(self, reorg: ReorganizationResult) -> float:
         # Retry previously failed builds whose backoff elapsed, then
@@ -414,6 +464,10 @@ class ColtTuner:
             self.self_organizer.materialized.add(index)
         build_cost += self.scheduler.request_materialization(reorg.materialize)
         self.scheduler.request_drop(reorg.drop)
+        if self.guardrails is not None and reorg.drop:
+            # Dropped indexes' verification evidence is stale by
+            # definition; a re-materialized index re-earns its verdict.
+            self.guardrails.on_drop(reorg.drop)
         # A failed build leaves the index unmaterialized: take it back
         # out of M so NetBenefit and the knapsack see reality, and
         # surface it on the ledger record.  Idle-policy requests are

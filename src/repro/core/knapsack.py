@@ -12,7 +12,7 @@ cross-check in tests.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Sequence, Tuple
 
 DEFAULT_RESOLUTION = 2048
 
@@ -36,6 +36,96 @@ class KnapsackItem:
 # Pools up to this size solve exactly with branch-and-bound over the true
 # (float) sizes; larger pools fall back to the discretized DP.
 MAX_EXACT_ITEMS = 24
+
+
+@dataclasses.dataclass(frozen=True)
+class SelectionConstraints:
+    """DBA / guardrail constraints on one knapsack solve.
+
+    Keys must compare equal to the ``key`` attribute of the
+    :class:`KnapsackItem` objects they constrain (the Self-Organizer
+    uses :class:`~repro.engine.index.IndexDef` for both).
+
+    Attributes:
+        pinned: Hard constraint -- these keys are always selected, even
+            when their value is non-positive or they exceed the
+            capacity on their own (the DBA overrides the budget
+            knowingly); their sizes are deducted from the capacity
+            before the free items are solved.
+        banned: Hard constraint -- these keys are never selected,
+            regardless of value.  A key both pinned and banned is
+            rejected (see :meth:`validate`).
+        preferred: Soft constraint -- value multipliers (> 0) applied to
+            the named keys before solving, biasing the objective toward
+            (or, below 1.0, away from) them without guaranteeing
+            selection.
+    """
+
+    pinned: FrozenSet[object] = frozenset()
+    banned: FrozenSet[object] = frozenset()
+    preferred: Tuple[Tuple[object, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        overlap = set(self.pinned) & set(self.banned)
+        if overlap:
+            raise ValueError(
+                f"keys both pinned and banned: {sorted(map(str, overlap))}"
+            )
+        for _, weight in self.preferred:
+            if weight <= 0.0:
+                raise ValueError("preference weights must be positive")
+
+    def __bool__(self) -> bool:
+        return bool(self.pinned or self.banned or self.preferred)
+
+    @property
+    def preference_map(self) -> Dict[object, float]:
+        """The soft preferences as a key -> multiplier mapping."""
+        return dict(self.preferred)
+
+
+def solve_constrained(
+    items: Sequence[KnapsackItem],
+    capacity: float,
+    constraints: SelectionConstraints,
+    resolution: int = DEFAULT_RESOLUTION,
+    incumbent_value: float = 0.0,
+) -> Tuple[List[KnapsackItem], float]:
+    """Solve 0/1 knapsack under pin/ban/prefer constraints.
+
+    Pinned items are taken unconditionally (their *true* values count
+    toward the returned total) and their sizes shrink the capacity
+    available to the free items; banned items are removed before
+    solving; preferred items have their values scaled for the solve
+    only -- the returned total is in the scaled objective, mirroring
+    how soft preferences distort NetBenefit comparisons.
+
+    Returns:
+        (selected items, total value) with pinned items listed first in
+        the order given.
+    """
+    prefs = constraints.preference_map
+    pinned: List[KnapsackItem] = []
+    free: List[KnapsackItem] = []
+    seen_pinned = set()
+    for item in items:
+        if item.key in constraints.banned:
+            continue
+        if item.key in constraints.pinned:
+            if item.key not in seen_pinned:
+                seen_pinned.add(item.key)
+                pinned.append(item)
+            continue
+        weight = prefs.get(item.key)
+        if weight is not None:
+            item = dataclasses.replace(item, value=item.value * weight)
+        free.append(item)
+    room = max(0.0, capacity - sum(it.size for it in pinned))
+    selected, total = solve_knapsack(
+        free, room, resolution=resolution, incumbent_value=incumbent_value
+    )
+    pinned_value = sum(it.value for it in pinned)
+    return pinned + selected, pinned_value + total
 
 
 def solve_knapsack(

@@ -23,7 +23,12 @@ from typing import Deque, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core.config import ColtConfig
 from repro.core.forecast import BenefitHistory, net_benefit
-from repro.core.knapsack import KnapsackItem, solve_knapsack
+from repro.core.knapsack import (
+    KnapsackItem,
+    SelectionConstraints,
+    solve_constrained,
+    solve_knapsack,
+)
 from repro.core.profiler import EpochIndexBenefit, Profiler
 from repro.core.window_tuner import ForecastWindowTuner
 from repro.engine.catalog import Catalog
@@ -58,6 +63,11 @@ class ReorganizationResult:
             at this boundary.
         breaker_state: The profiling circuit breaker's state after this
             boundary (``"closed"``, ``"open"`` or ``"half_open"``).
+        quarantined: Indexes the guardrails quarantined at this boundary
+            (filled by the tuner when a guardrail manager is attached);
+            they also appear in ``drop``.
+        released: Indexes the guardrails released from quarantine at
+            this boundary.
     """
 
     materialize: List[IndexDef]
@@ -69,6 +79,8 @@ class ReorganizationResult:
     recovered_builds: List[IndexDef] = dataclasses.field(default_factory=list)
     abandoned_builds: List[IndexDef] = dataclasses.field(default_factory=list)
     breaker_state: str = "closed"
+    quarantined: List[IndexDef] = dataclasses.field(default_factory=list)
+    released: List[IndexDef] = dataclasses.field(default_factory=list)
 
 
 class SelfOrganizer:
@@ -107,6 +119,7 @@ class SelfOrganizer:
         report: Dict[IndexKey, EpochIndexBenefit],
         profiler: Profiler,
         inserts: Optional[Dict[str, int]] = None,
+        constraints: Optional[SelectionConstraints] = None,
     ) -> ReorganizationResult:
         """Run one reorganization + re-budgeting step.
 
@@ -118,6 +131,11 @@ class SelfOrganizer:
                 write-aware extension); indexes on write-hot tables get
                 their forecasted maintenance cost charged against
                 NetBenefit.
+            constraints: Optional guardrail/DBA constraints on both
+                knapsack solves: pinned indexes are forced into ``M``,
+                banned ones (advice bans, quarantine, rollout staging)
+                are excluded from selection and from hot promotion,
+                preferred ones get their NetBenefit scaled.
 
         Returns:
             The decisions for the next epoch.  The caller (the tuner)
@@ -142,11 +160,20 @@ class SelfOrganizer:
         pool = eligible + [
             ix for ix in sorted(self.materialized, key=str) if ix not in eligible
         ]
+        if constraints is not None and constraints.pinned:
+            # Pinned indexes always face the knapsack, history or not;
+            # solve_constrained forces them in regardless of value.
+            in_pool = {_key(ix) for ix in pool}
+            pool += [
+                ix
+                for ix in sorted(constraints.pinned, key=str)
+                if _key(ix) not in in_pool
+            ]
         values = {
             _key(ix): self._net_benefit(ix, optimistic=False) for ix in pool
         }
         selected, chosen_value = self._solve(
-            pool, values, warm=self._warm_conservative
+            pool, values, warm=self._warm_conservative, constraints=constraints
         )
         self._warm_conservative = frozenset(_key(ix) for ix in selected)
         new_m = set(selected)
@@ -154,7 +181,12 @@ class SelfOrganizer:
         drops = [ix for ix in sorted(self.materialized, key=str) if ix not in new_m]
 
         # --- Hot set selection ----------------------------------------
-        new_hot = self._select_hot(profiler, exclude=new_m)
+        hot_exclude = set(new_m)
+        if constraints is not None:
+            # A banned index must not be promoted hot either: profiling
+            # it would spend what-if budget on an unselectable index.
+            hot_exclude |= set(constraints.banned)
+        new_hot = self._select_hot(profiler, exclude=hot_exclude)
 
         # --- Re-budgeting ---------------------------------------------
         optimistic_values = dict(values)
@@ -169,7 +201,10 @@ class SelfOrganizer:
         # purpose is to decide whether profiling them is worthwhile.
         opt_pool = sorted({*pool, *self.hot, *new_hot}, key=str)
         _opt_selected, opt_value = self._solve(
-            opt_pool, optimistic_values, warm=self._warm_optimistic
+            opt_pool,
+            optimistic_values,
+            warm=self._warm_optimistic,
+            constraints=constraints,
         )
         self._warm_optimistic = frozenset(_key(ix) for ix in _opt_selected)
         ratio = self._improvement_ratio(opt_value, chosen_value)
@@ -289,6 +324,7 @@ class SelfOrganizer:
         pool: Iterable[IndexDef],
         values: Dict[IndexKey, float],
         warm: frozenset = frozenset(),
+        constraints: Optional[SelectionConstraints] = None,
     ) -> Tuple[List[IndexDef], float]:
         capacity = self._config.storage_budget_pages
         items = [
@@ -299,6 +335,13 @@ class SelfOrganizer:
             )
             for ix in pool
         ]
+        if constraints:
+            # The previous selection may violate fresh constraints, so
+            # the warm incumbent is not a valid lower bound here.
+            started = time.perf_counter()
+            selected, total = solve_constrained(items, capacity, constraints)
+            self._m_knapsack.observe(time.perf_counter() - started)
+            return [item.key for item in selected], total
         # Warm-start: the previous epoch's selection, re-valued under
         # this epoch's forecasts and filtered to still-viable items, is
         # a feasible solution -- a true lower bound that lets the

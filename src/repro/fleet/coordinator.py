@@ -30,8 +30,11 @@ from repro.core.colt import QueryOutcome
 from repro.core.config import ColtConfig
 from repro.engine.catalog import Catalog
 from repro.fleet.replica import ReplicaHealth, ReplicaStats, TunerReplica
+from repro.guardrails.advice import AdviceBook
+from repro.guardrails.manager import GuardrailConfig, GuardrailManager
+from repro.guardrails.rollout import RolloutController, RolloutSummary
 from repro.obs.export import build_snapshot
-from repro.obs.names import FLEET_METRICS
+from repro.obs.names import FLEET_METRICS, GUARDRAIL_METRICS
 from repro.obs.registry import MetricsRegistry, merge_snapshots
 from repro.obs.spans import SpanTracer, merge_span_summaries
 from repro.fleet.router import (
@@ -59,6 +62,8 @@ class ReplicaStatus:
         breaker_state: The underlying breaker state.
         queries: Queries processed so far.
         materialized: Number of materialized indexes.
+        quarantined: Names of indexes this replica's guardrails hold in
+            quarantine or on parole (empty without guardrails).
     """
 
     replica_id: int
@@ -66,6 +71,7 @@ class ReplicaStatus:
     breaker_state: str
     queries: int
     materialized: int
+    quarantined: List[str] = dataclasses.field(default_factory=list)
 
 
 @dataclasses.dataclass
@@ -88,6 +94,8 @@ class FleetReorganizationResult:
             replicas' materialized sets -- 0 when every replica holds
             the same indexes, 1 when all sets are disjoint.
         replicas: Per-replica status lines.
+        rollout: What the staged-rollout pass did at this boundary
+            (None when the fleet runs without guardrails).
     """
 
     epoch: int
@@ -99,6 +107,7 @@ class FleetReorganizationResult:
     probe_budget: int
     divergence: float
     replicas: List[ReplicaStatus]
+    rollout: Optional[RolloutSummary] = None
 
 
 @dataclasses.dataclass
@@ -193,9 +202,18 @@ class FleetCoordinator:
             registry (same enabled state) so
             :meth:`metrics_snapshot` can merge them under a
             ``replica`` label.
+        guardrails: Optional :class:`~repro.guardrails.manager.
+            GuardrailConfig`; when given, every replica gets its own
+            guardrail manager (observed-cost verification, quarantine)
+            and the coordinator stages new indexes through a canary
+            replica before fleet-wide promotion.
+        advice: Optional DBA advice applied to every replica's
+            guardrail manager (requires ``guardrails``).
 
     Attributes:
         tracer: Span tracer timing fleet reorganizations.
+        rollout: The staged-rollout controller (None without
+            guardrails).
     """
 
     def __init__(
@@ -209,11 +227,15 @@ class FleetCoordinator:
         breakers: Optional[Sequence[Optional[CircuitBreaker]]] = None,
         fault_injectors: Optional[Sequence[Optional[FaultInjector]]] = None,
         registry: Optional[MetricsRegistry] = None,
+        guardrails: Optional[GuardrailConfig] = None,
+        advice: Optional[AdviceBook] = None,
     ) -> None:
         if n_replicas < 1:
             raise ValueError("n_replicas must be positive")
         if fleet_epoch_length < 1:
             raise ValueError("fleet_epoch_length must be positive")
+        if advice is not None and guardrails is None:
+            raise ValueError("advice requires guardrails to be enabled")
         self.config = config or ColtConfig()
         self.fleet_epoch_length = fleet_epoch_length
         self.registry = registry if registry is not None else MetricsRegistry()
@@ -221,6 +243,11 @@ class FleetCoordinator:
         for i in range(n_replicas):
             breaker = breakers[i] if breakers else None
             injector = fault_injectors[i] if fault_injectors else None
+            manager = (
+                GuardrailManager(config=guardrails, advice=advice)
+                if guardrails is not None
+                else None
+            )
             self.replicas.append(
                 TunerReplica(
                     i,
@@ -229,8 +256,15 @@ class FleetCoordinator:
                     breaker=breaker,
                     fault_injector=injector,
                     registry=MetricsRegistry(enabled=self.registry.enabled),
+                    guardrails=manager,
                 )
             )
+        self.rollout: Optional[RolloutController] = None
+        if guardrails is not None:
+            baseline = [
+                ix for r in self.replicas for ix in r.tuner.materialized_set
+            ]
+            self.rollout = RolloutController(baseline=baseline)
         self._routing_catalog = catalog_factory()
         self.router: Router = make_router(
             policy, n_replicas, self._routing_catalog, probe_budget=probe_budget
@@ -250,16 +284,19 @@ class FleetCoordinator:
         policy: str = "affinity",
         fleet_epoch_length: int = 50,
         probe_budget: int = DEFAULT_PROBE_BUDGET,
+        rollout: Optional[RolloutController] = None,
     ) -> "FleetCoordinator":
         """Build a coordinator around pre-existing replicas.
 
         Used when restoring a fleet from snapshots: the replicas (and
         their tuners) already exist, so no catalogs are constructed.
+        ``rollout`` re-attaches a restored staged-rollout controller.
         """
         coordinator = cls.__new__(cls)
         coordinator.config = replicas[0].tuner.config
         coordinator.fleet_epoch_length = fleet_epoch_length
         coordinator.replicas = list(replicas)
+        coordinator.rollout = rollout
         coordinator._routing_catalog = routing_catalog
         coordinator.router = make_router(
             policy, len(replicas), routing_catalog, probe_budget=probe_budget
@@ -291,6 +328,28 @@ class FleetCoordinator:
         self._m_probe_budget = FLEET_METRICS["fleet_probe_budget"].build(self.registry)
         self._m_divergence = FLEET_METRICS["fleet_config_divergence"].build(self.registry)
         self._m_health = FLEET_METRICS["fleet_replica_health"].build(self.registry)
+        self._m_rollouts_started = FLEET_METRICS["fleet_rollouts_started_total"].build(
+            self.registry
+        )
+        self._m_rollouts_promoted = FLEET_METRICS[
+            "fleet_rollouts_promoted_total"
+        ].build(self.registry)
+        self._m_rollouts_rolled_back = FLEET_METRICS[
+            "fleet_rollouts_rolled_back_total"
+        ].build(self.registry)
+        self._m_canary_reassignments = FLEET_METRICS[
+            "fleet_canary_reassignments_total"
+        ].build(self.registry)
+        self._m_active_canaries = FLEET_METRICS["fleet_active_canaries"].build(
+            self.registry
+        )
+        # Guardrail families are registered fleet-level regardless of
+        # whether guardrails are enabled, so the export contract (every
+        # CATALOG family present) holds for every fleet configuration;
+        # per-replica managers register the same families on their own
+        # registries and the samples merge under the replica label.
+        for spec in GUARDRAIL_METRICS.values():
+            spec.build(self.registry)
         self._sync_health()
 
     _HEALTH_VALUES = {
@@ -456,6 +515,19 @@ class FleetCoordinator:
                 else 0
             )
 
+            rollout_summary: Optional[RolloutSummary] = None
+            if self.rollout is not None:
+                # Staged rollout runs after drains are known: a drained
+                # canary hands its duty to a healthy holder here.
+                rollout_summary = self.rollout.reconcile(self.replicas)
+                self._m_rollouts_started.inc(len(rollout_summary.started))
+                self._m_rollouts_promoted.inc(len(rollout_summary.promoted))
+                self._m_rollouts_rolled_back.inc(
+                    len(rollout_summary.rolled_back)
+                )
+                self._m_canary_reassignments.inc(rollout_summary.reassigned)
+                self._m_active_canaries.set(rollout_summary.active_canaries)
+
         divergence = self.configuration_divergence()
         self._m_reorgs.inc()
         self._m_drains.inc(len(drained))
@@ -482,9 +554,11 @@ class FleetCoordinator:
                     breaker_state=r.breaker.state.value,
                     queries=r.stats.queries,
                     materialized=len(r.materialized_names),
+                    quarantined=r.quarantined_names,
                 )
                 for r in self.replicas
             ],
+            rollout=rollout_summary,
         )
         self.reorganizations.append(result)
         return result

@@ -82,6 +82,9 @@ class TunerReplica:
             coordinator hands each replica its own so snapshots can be
             merged under a ``replica`` label); ignored when ``tuner``
             is pre-built.
+        guardrails: Optional per-replica guardrail manager forwarded to
+            the tuner (verification, quarantine, rollout bans); ignored
+            when ``tuner`` is pre-built.
     """
 
     def __init__(
@@ -93,6 +96,7 @@ class TunerReplica:
         fault_injector: Optional[FaultInjector] = None,
         tuner: Optional[ColtTuner] = None,
         registry: Optional[MetricsRegistry] = None,
+        guardrails=None,
     ) -> None:
         self.replica_id = replica_id
         self.catalog = catalog
@@ -103,6 +107,7 @@ class TunerReplica:
                 breaker=breaker,
                 fault_injector=fault_injector,
                 registry=registry,
+                guardrails=guardrails,
             )
         self.tuner = tuner
         self.stats = ReplicaStats()
@@ -127,6 +132,15 @@ class TunerReplica:
     def materialized_names(self) -> List[str]:
         """Names of the replica's currently materialized indexes."""
         return [ix.name for ix in self.tuner.materialized_set]
+
+    @property
+    def quarantined_names(self) -> List[str]:
+        """Names of indexes this replica's guardrails hold in quarantine
+        (or on parole); empty when no guardrail manager is attached."""
+        manager = getattr(self.tuner, "guardrails", None)
+        if manager is None:
+            return []
+        return [entry.index.name for entry in manager.quarantine.entries]
 
     # ------------------------------------------------------------------
     def process(self, query: Query, on_error: str = "raise") -> QueryOutcome:

@@ -71,6 +71,7 @@ def snapshot_fleet(
                 "health": replica.health.value,
                 "queries": replica.stats.queries,
                 "materialized": len(replica.materialized_names),
+                "quarantined": replica.quarantined_names,
             }
         )
     return {
@@ -79,6 +80,11 @@ def snapshot_fleet(
         "fleet_epoch_length": coordinator.fleet_epoch_length,
         "queries_routed": coordinator.queries_routed,
         "replicas": entries,
+        **(
+            {"rollout": coordinator.rollout.to_snapshot()}
+            if coordinator.rollout is not None
+            else {}
+        ),
     }
 
 
@@ -169,10 +175,18 @@ def restore_fleet(
         replicas.append(
             TunerReplica(int(entry["replica_id"]), catalog, tuner=tuner)
         )
+    rollout = None
+    if "rollout" in manifest:
+        from repro.guardrails.rollout import RolloutController
+
+        rollout = RolloutController.from_snapshot(
+            manifest["rollout"], replicas[0].catalog
+        )
     return FleetCoordinator.adopt(
         replicas,
         routing_catalog=catalog_factory(),
         policy=policy or str(manifest["policy"]),
         fleet_epoch_length=int(manifest["fleet_epoch_length"]),
         probe_budget=probe_budget,
+        rollout=rollout,
     )

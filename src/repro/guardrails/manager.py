@@ -1,0 +1,399 @@
+"""The guardrail manager: verification, quarantine, and advice, wired.
+
+One :class:`GuardrailManager` rides along with one
+:class:`~repro.core.colt.ColtTuner`.  Per query it spends a bounded
+number of verification probes on the materialized indexes the chosen
+plan actually used; per epoch it turns REGRESSED verdicts into
+quarantine admissions and hands the Self-Organizer a
+:class:`~repro.core.knapsack.SelectionConstraints` combining DBA advice
+(pin/ban/prefer) with quarantine hard bans and any fleet-rollout bans
+the coordinator pushed down.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.knapsack import SelectionConstraints
+from repro.engine.catalog import Catalog
+from repro.engine.index import IndexDef
+from repro.guardrails.advice import AdviceBook
+from repro.guardrails.quarantine import Quarantine
+from repro.guardrails.verify import (
+    CostObserver,
+    IndexVerifier,
+    PlanCostObserver,
+    Verdict,
+)
+from repro.obs.names import GUARDRAIL_METRICS
+from repro.obs.registry import MetricsRegistry
+
+
+@dataclasses.dataclass(frozen=True)
+class GuardrailConfig:
+    """Guardrail tuning knobs.
+
+    Kept separate from :class:`~repro.core.config.ColtConfig` so old
+    tuner snapshots (which round-trip ``ColtConfig`` field-for-field)
+    keep restoring unchanged.
+
+    Attributes:
+        verify_window: Observations per index before a verdict.
+        quarantine_ratio: Observed/predicted savings ratio below which
+            an index is REGRESSED.
+        quarantine_epochs: Epochs a quarantined index stays hard-banned
+            before parole.
+        verify_budget_per_epoch: Max verification probes per epoch; each
+            probe is one extra optimizer call plus (with an execution
+            observer) a shadow execution.
+        min_predicted_fraction: Predicted relative savings below this
+            count as "nothing promised" -- never REGRESSED.
+        shadow_cost_factor: Fraction of a shadow execution's observed
+            cost charged as overhead (execution observer only).
+    """
+
+    verify_window: int = 8
+    quarantine_ratio: float = 0.5
+    quarantine_epochs: int = 6
+    verify_budget_per_epoch: int = 4
+    min_predicted_fraction: float = 0.01
+    shadow_cost_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.verify_window < 1:
+            raise ValueError("verify_window must be positive")
+        if not 0.0 < self.quarantine_ratio:
+            raise ValueError("quarantine_ratio must be positive")
+        if self.quarantine_epochs < 1:
+            raise ValueError("quarantine_epochs must be positive")
+        if self.verify_budget_per_epoch < 1:
+            raise ValueError("verify_budget_per_epoch must be positive")
+        if self.shadow_cost_factor < 0.0:
+            raise ValueError("shadow_cost_factor must be non-negative")
+
+    def to_dict(self) -> Dict:
+        """JSON-compatible serialization."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "GuardrailConfig":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**data)
+
+
+@dataclasses.dataclass
+class GuardrailDecisions:
+    """What the guardrails did at one epoch boundary.
+
+    Attributes:
+        quarantined: Indexes admitted (or re-admitted) to quarantine
+            this boundary; COLT must drop them.
+        released: Indexes released from quarantine this boundary
+            (parole verification passed, or parole expired unused).
+    """
+
+    quarantined: List[IndexDef] = dataclasses.field(default_factory=list)
+    released: List[IndexDef] = dataclasses.field(default_factory=list)
+
+
+class GuardrailManager:
+    """Per-tuner guardrail state machine.
+
+    Args:
+        config: Guardrail knobs; defaults follow the module docstring.
+        observer: How observed costs are priced; defaults to
+            :class:`~repro.guardrails.verify.PlanCostObserver` (pure
+            cost-model mode, decisions provably unchanged).
+        advice: DBA pin/ban/prefer directives; resolved against the
+            tuner's catalog at :meth:`attach` time.
+    """
+
+    def __init__(
+        self,
+        config: Optional[GuardrailConfig] = None,
+        observer: Optional[CostObserver] = None,
+        advice: Optional[AdviceBook] = None,
+    ) -> None:
+        self.config = config or GuardrailConfig()
+        self.observer = observer or PlanCostObserver()
+        self.advice = advice or AdviceBook()
+        self.verifier = IndexVerifier(
+            window=self.config.verify_window,
+            quarantine_ratio=self.config.quarantine_ratio,
+            min_predicted_fraction=self.config.min_predicted_fraction,
+        )
+        self.quarantine = Quarantine(cooldown_epochs=self.config.quarantine_epochs)
+        self._pinned: List[IndexDef] = []
+        self._banned: List[IndexDef] = []
+        self._preferred: List[Tuple[IndexDef, float]] = []
+        self._rollout_bans: List[IndexDef] = []
+        self._epoch_probes = 0
+        self._optimizer = None
+        self._catalog: Optional[Catalog] = None
+        self._metrics: Optional[Dict] = None
+
+    # ------------------------------------------------------------------
+    def attach(self, tuner) -> None:
+        """Bind to a tuner: resolve advice, register metrics.
+
+        Called by :class:`~repro.core.colt.ColtTuner` when constructed
+        with a guardrail manager.
+        """
+        self._catalog = tuner.catalog
+        self._optimizer = tuner.optimizer
+        self._pinned, self._banned, self._preferred = self.advice.resolve(
+            tuner.catalog
+        )
+        self._build_metrics(tuner.registry)
+
+    def _build_metrics(self, registry: MetricsRegistry) -> None:
+        self._metrics = {
+            name: spec.build(registry) for name, spec in GUARDRAIL_METRICS.items()
+        }
+        self._metrics["guardrail_pinned_indexes"].set(len(self._pinned))
+        self._refresh_gauges()
+
+    def _refresh_gauges(self) -> None:
+        if self._metrics is None:
+            return
+        self._metrics["guardrail_quarantined_indexes"].set(len(self.quarantine))
+        self._metrics["guardrail_banned_indexes"].set(
+            len(self._banned) + len(self.quarantine.blocked()) + len(self._rollout_bans)
+        )
+
+    @property
+    def pinned(self) -> List[IndexDef]:
+        """Advice-pinned indexes (resolved; empty before attach)."""
+        return list(self._pinned)
+
+    @property
+    def banned(self) -> List[IndexDef]:
+        """Advice-banned indexes (resolved; empty before attach)."""
+        return list(self._banned)
+
+    # ------------------------------------------------------------------
+    def observe_query(self, session, materialized: Iterable[IndexDef]) -> Tuple[int, float]:
+        """Spend verification probes on the indexes this query's plan used.
+
+        Each probe re-optimizes the query with one used index removed
+        (a reverse what-if, sharing the session's plan cache) and asks
+        the observer to price both plans.  Probes are bounded by
+        ``verify_budget_per_epoch`` and skipped for indexes whose
+        verdict is already in.
+
+        Args:
+            session: The query's :class:`WhatIfSession` (already holds
+                the base optimization).
+            materialized: The tuner's current set ``M``.
+
+        Returns:
+            (probe count, overhead cost charged) for this query.
+        """
+        if self._optimizer is None:
+            return 0, 0.0
+        mat = frozenset(materialized)
+        calls = 0
+        charge = 0.0
+        for index in sorted(session.base.plan.indexes_used(), key=str):
+            if self._epoch_probes >= self.config.verify_budget_per_epoch:
+                break
+            if index not in mat or not self.verifier.needs_samples(index):
+                continue
+            without = self._optimizer.optimize(
+                session.query, config=mat - {index}, cache=session.cache
+            )
+            observation = self.observer.observe(
+                session, without.plan, session.base.cost, without.cost
+            )
+            state = self.verifier.record(index, observation)
+            self._epoch_probes += 1
+            calls += 1
+            charge += observation.charge
+            if self._metrics is not None:
+                self._metrics["guardrail_verifications_total"].inc()
+                self._metrics["guardrail_verification_overhead_cost_total"].inc(
+                    observation.charge
+                )
+                if state.verdict is not Verdict.PENDING:
+                    # samples just reached the window: the verdict is new.
+                    self._metrics["guardrail_verdicts_total"].inc(
+                        verdict=state.verdict.value
+                    )
+                    if state.ratio is not None:
+                        self._metrics["guardrail_observed_predicted_ratio"].observe(
+                            state.ratio
+                        )
+        return calls, charge
+
+    # ------------------------------------------------------------------
+    def end_epoch(self, materialized: Iterable[IndexDef]) -> GuardrailDecisions:
+        """Advance quarantine clocks and act on fresh verdicts.
+
+        REGRESSED indexes still in ``M`` (and not pinned) are admitted
+        to quarantine -- the caller must drop them; parolees that were
+        re-materialized and re-verified clean are released.
+        """
+        mat = set(materialized)
+        decisions = GuardrailDecisions()
+        decisions.released.extend(self.quarantine.tick_epoch(mat))
+        pinned_keys = {(ix.table, ix.columns) for ix in self._pinned}
+        for state in list(self.verifier.states):
+            if state.verdict is not Verdict.REGRESSED:
+                continue
+            if state.index not in mat:
+                continue
+            if (state.index.table, state.index.columns) in pinned_keys:
+                continue
+            self.quarantine.admit(state.index, state.ratio or 0.0)
+            self.verifier.reset(state.index)
+            decisions.quarantined.append(state.index)
+        for entry in list(self.quarantine.entries):
+            if (
+                entry.state == "parole"
+                and entry.index in mat
+                and self.verifier.verdict_for(entry.index) is Verdict.VERIFIED
+            ):
+                self.quarantine.clear(entry.index)
+                decisions.released.append(entry.index)
+        self._epoch_probes = 0
+        if self._metrics is not None:
+            self._metrics["guardrail_quarantines_total"].inc(
+                len(decisions.quarantined)
+            )
+            self._metrics["guardrail_releases_total"].inc(len(decisions.released))
+            self._refresh_gauges()
+        return decisions
+
+    def constraints(self) -> SelectionConstraints:
+        """The combined knapsack constraints in force right now."""
+        pinned = frozenset(self._pinned)
+        banned = frozenset(
+            ix
+            for ix in (*self._banned, *self.quarantine.blocked(), *self._rollout_bans)
+            if ix not in pinned
+        )
+        preferred = tuple(
+            (ix, weight)
+            for ix, weight in self._preferred
+            if ix not in pinned and ix not in banned
+        )
+        return SelectionConstraints(
+            pinned=pinned, banned=banned, preferred=preferred
+        )
+
+    def set_rollout_bans(self, indexes: Iterable[IndexDef]) -> None:
+        """Replace the coordinator-pushed rollout bans (canary staging)."""
+        self._rollout_bans = sorted(set(indexes), key=str)
+        self._refresh_gauges()
+
+    @property
+    def rollout_bans(self) -> List[IndexDef]:
+        """Indexes banned on this tuner pending canary verification."""
+        return list(self._rollout_bans)
+
+    def on_drop(self, indexes: Iterable[IndexDef]) -> None:
+        """Forget verification evidence for indexes leaving ``M``."""
+        for index in indexes:
+            self.verifier.reset(index)
+
+    def verdict_for(self, index: IndexDef) -> Verdict:
+        """Current verification verdict for an index."""
+        return self.verifier.verdict_for(index)
+
+    # ------------------------------------------------------------------
+    def audit(self, materialized: Iterable[IndexDef] = ()) -> List[Dict]:
+        """Per-index guardrail report rows (the ``audit`` CLI's data).
+
+        Covers every index that is materialized, tracked by the
+        verifier, in quarantine, or named by advice.
+        """
+        mat = {(ix.table, ix.columns): ix for ix in materialized}
+        rows: Dict[Tuple[str, Tuple[str, ...]], Dict] = {}
+
+        def row_for(index: IndexDef) -> Dict:
+            key = (index.table, index.columns)
+            if key not in rows:
+                rows[key] = {
+                    "index": f"{index.table}.{'+'.join(index.columns)}",
+                    "table": index.table,
+                    "columns": list(index.columns),
+                    "materialized": key in mat,
+                    "pinned": False,
+                    "banned": False,
+                    "preferred_weight": None,
+                    "samples": 0,
+                    "predicted_fraction": None,
+                    "observed_fraction": None,
+                    "ratio": None,
+                    "verdict": Verdict.PENDING.value,
+                    "quarantine": None,
+                }
+            return rows[key]
+
+        for index in mat.values():
+            row_for(index)
+        for state in self.verifier.states:
+            row = row_for(state.index)
+            row["samples"] = state.samples
+            if state.predicted_without > 0.0:
+                row["predicted_fraction"] = (
+                    state.predicted_gain / state.predicted_without
+                )
+            if state.observed_without > 0.0:
+                row["observed_fraction"] = (
+                    state.observed_gain / state.observed_without
+                )
+            row["ratio"] = state.ratio
+            row["verdict"] = state.verdict.value
+        for entry in self.quarantine.entries:
+            row = row_for(entry.index)
+            row["quarantine"] = {
+                "state": entry.state,
+                "ratio": entry.ratio,
+                "strikes": entry.strikes,
+                "cooldown_remaining": entry.cooldown_remaining,
+                "parole_ticks": entry.parole_ticks,
+            }
+        for index in self._pinned:
+            row_for(index)["pinned"] = True
+        for index in self._banned:
+            row_for(index)["banned"] = True
+        for index, weight in self._preferred:
+            row_for(index)["preferred_weight"] = weight
+        for index in self._rollout_bans:
+            row_for(index)["banned"] = True
+        return [rows[key] for key in sorted(rows)]
+
+    # ------------------------------------------------------------------
+    def to_snapshot(self) -> Dict:
+        """JSON-compatible serialization of all guardrail state."""
+        return {
+            "config": self.config.to_dict(),
+            "advice": self.advice.to_snapshot(),
+            "quarantine": self.quarantine.to_snapshot(),
+            "verifier": self.verifier.to_snapshot(),
+            "epoch_probes": self._epoch_probes,
+        }
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        data: Dict,
+        catalog: Catalog,
+        observer: Optional[CostObserver] = None,
+    ) -> "GuardrailManager":
+        """Rebuild a manager from :meth:`to_snapshot` output.
+
+        Observers do not serialize (an execution observer holds a live
+        store); pass one explicitly or accept the plan-cost default.
+        """
+        manager = cls(
+            config=GuardrailConfig.from_dict(data["config"]),
+            observer=observer,
+            advice=AdviceBook.from_snapshot(data.get("advice", [])),
+        )
+        manager.quarantine = Quarantine.from_snapshot(data["quarantine"], catalog)
+        manager.verifier.restore(data.get("verifier", []), catalog)
+        manager._epoch_probes = int(data.get("epoch_probes", 0))
+        return manager

@@ -156,6 +156,34 @@ FLEET_METRICS = _catalog(
     MetricSpec("fleet_probe_budget", "gauge", "Cost router probe budget granted for the current fleet epoch."),
     MetricSpec("fleet_config_divergence", "gauge", "Mean pairwise Jaccard distance between replica materialized sets."),
     MetricSpec("fleet_replica_health", "gauge", "Replica health (0 healthy, 1 degraded, 2 drained).", labelnames=("replica",)),
+    MetricSpec("fleet_rollouts_started_total", "counter", "Canary rollouts started for newly recommended indexes."),
+    MetricSpec("fleet_rollouts_promoted_total", "counter", "Canary rollouts promoted fleet-wide after verification."),
+    MetricSpec("fleet_rollouts_rolled_back_total", "counter", "Canary rollouts rolled back after a failed verification."),
+    MetricSpec("fleet_canary_reassignments_total", "counter", "Canary duties reassigned after the canary replica drained."),
+    MetricSpec("fleet_active_canaries", "gauge", "Rollouts currently in the canary stage."),
+)
+
+#: Families emitted by :class:`~repro.guardrails.manager.GuardrailManager`.
+GUARDRAIL_METRICS = _catalog(
+    MetricSpec("guardrail_verifications_total", "counter", "Verification observations recorded against materialized indexes."),
+    MetricSpec("guardrail_verification_overhead_cost_total", "counter", "Cost units charged for verification probes and shadow executions."),
+    MetricSpec(
+        "guardrail_verdicts_total",
+        "counter",
+        "Verification verdicts issued.",
+        labelnames=("verdict",),
+    ),
+    MetricSpec("guardrail_quarantines_total", "counter", "Indexes admitted (or re-admitted) to quarantine."),
+    MetricSpec("guardrail_releases_total", "counter", "Indexes released from quarantine."),
+    MetricSpec("guardrail_quarantined_indexes", "gauge", "Indexes currently quarantined or on parole."),
+    MetricSpec("guardrail_pinned_indexes", "gauge", "Indexes pinned by DBA advice."),
+    MetricSpec("guardrail_banned_indexes", "gauge", "Indexes hard-banned right now (advice bans, quarantine blocks, rollout bans)."),
+    MetricSpec(
+        "guardrail_observed_predicted_ratio",
+        "histogram",
+        "Observed/predicted savings ratio at verdict time.",
+        buckets=(0.1, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0),
+    ),
 )
 
 #: Every stable family, by name -- the contract the export must honour.
@@ -166,4 +194,5 @@ CATALOG: Dict[str, MetricSpec] = {
     **SCHEDULER_METRICS,
     **RESILIENCE_METRICS,
     **FLEET_METRICS,
+    **GUARDRAIL_METRICS,
 }

@@ -45,6 +45,8 @@ from repro.core.config import ColtConfig
 from repro.core.forecast import BenefitHistory
 from repro.engine.catalog import Catalog
 from repro.engine.storage import PhysicalStore
+from repro.guardrails.manager import GuardrailManager
+from repro.guardrails.verify import CostObserver
 
 SNAPSHOT_VERSION = 1
 
@@ -57,7 +59,13 @@ class SnapshotError(ValueError):
 
 
 def snapshot_tuner(tuner: ColtTuner) -> Dict:
-    """Serialize a tuner's durable state to a JSON-compatible dict."""
+    """Serialize a tuner's durable state to a JSON-compatible dict.
+
+    When a guardrail manager is attached its state rides along under a
+    ``"guardrails"`` key (additive -- snapshots without it restore to a
+    guardrail-free tuner), so a restart cannot amnesty a quarantined
+    index.
+    """
     so = tuner.self_organizer
     candidates = []
     for stats in tuner.profiler.candidates.ranked():
@@ -91,6 +99,11 @@ def snapshot_tuner(tuner: ColtTuner) -> Dict:
         },
         "candidates": candidates,
         "whatif_budget": tuner.profiler.whatif_budget,
+        **(
+            {"guardrails": tuner.guardrails.to_snapshot()}
+            if tuner.guardrails is not None
+            else {}
+        ),
     }
 
 
@@ -98,12 +111,16 @@ def restore_tuner(
     catalog: Catalog,
     snapshot: Dict,
     store: Optional[PhysicalStore] = None,
+    observer: Optional[CostObserver] = None,
 ) -> ColtTuner:
     """Rebuild a tuner from a snapshot over an equivalent catalog.
 
     Restored materialized indexes are re-registered in the catalog (and,
     when a physical store is given, physically rebuilt) without charging
     build cost -- they already exist on disk in the scenario this models.
+    A snapshot carrying guardrail state gets its guardrail manager back,
+    quarantine clocks and all; ``observer`` re-attaches a live cost
+    observer (observers hold stores and never serialize).
 
     Raises:
         SnapshotError: on version mismatch, references to tables or
@@ -117,7 +134,7 @@ def restore_tuner(
             f"unsupported snapshot version {snapshot.get('version')!r}"
         )
     try:
-        return _restore_tuner(catalog, snapshot, store)
+        return _restore_tuner(catalog, snapshot, store, observer)
     except SnapshotError:
         raise
     except (KeyError, TypeError, ValueError, AttributeError) as exc:
@@ -125,10 +142,18 @@ def restore_tuner(
 
 
 def _restore_tuner(
-    catalog: Catalog, snapshot: Dict, store: Optional[PhysicalStore]
+    catalog: Catalog,
+    snapshot: Dict,
+    store: Optional[PhysicalStore],
+    observer: Optional[CostObserver] = None,
 ) -> ColtTuner:
     config = _config_from_dict(snapshot["config"])
-    tuner = ColtTuner(catalog, config, store=store)
+    guardrails = None
+    if "guardrails" in snapshot:
+        guardrails = GuardrailManager.from_snapshot(
+            snapshot["guardrails"], catalog, observer=observer
+        )
+    tuner = ColtTuner(catalog, config, store=store, guardrails=guardrails)
     so = tuner.self_organizer
 
     for table, columns in snapshot["materialized"]:

@@ -15,6 +15,10 @@ package reconstructs all of it:
   matching the three experiments of §6.
 """
 
+from repro.workload.adversarial import (
+    build_adversarial_store,
+    misleading_workload,
+)
 from repro.workload.datagen import build_catalog, build_physical
 from repro.workload.phases import (
     multi_client_workload,
@@ -30,8 +34,10 @@ __all__ = [
     "QueryDistribution",
     "QueryTemplate",
     "TPCH_INSTANCES",
+    "build_adversarial_store",
     "build_catalog",
     "build_physical",
+    "misleading_workload",
     "dataset_summary",
     "multi_client_workload",
     "noisy_workload",

@@ -1,0 +1,187 @@
+"""Adversarial scenario: a cost model that over-promises index benefit.
+
+The guardrail subsystem (``repro.guardrails``) exists for exactly one
+failure mode: the optimizer's *predicted* benefit of an index diverges
+from its *observed* benefit at execution time.  This module manufactures
+that divergence deterministically so benchmarks and tests can measure
+how fast quarantine reacts and how much regret it saves.
+
+The construction: a ``facts`` table whose ``f_skew`` column physically
+holds a heavy point mass (by default 85% of rows share one hot value),
+while the catalog statistics *claim* the column is uniform over a large
+domain -- the kind of lie a stale ANALYZE or a mis-scaled statistics
+import produces in real systems.  An equality predicate on the hot value
+is then predicted to be needle-selective (``1/n_distinct``), so the
+what-if optimizer forecasts a large gain for an index on ``f_skew``;
+executing the index plan actually touches most of the heap, so the
+observed gain is near zero.  A second column, ``f_grp``, keeps truthful
+statistics -- its index genuinely helps, and guardrails must leave it
+alone (no false quarantines).
+
+Usage::
+
+    store = build_adversarial_store(mislead=True)
+    workload = misleading_workload(store.catalog, length=240)
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.engine.catalog import Catalog, ColumnDef, TableDef
+from repro.engine.cost_params import CostParams
+from repro.engine.datatypes import DataType
+from repro.engine.stats import ColumnStats
+from repro.engine.storage import PhysicalStore
+from repro.sql.ast import (
+    AggFunc,
+    Aggregate,
+    ColumnExpr,
+    CompareOp,
+    ComparisonPredicate,
+    Query,
+    SelectItem,
+)
+from repro.workload.phases import Workload
+
+#: Table and column names of the adversarial schema.
+FACTS_TABLE = "facts"
+SKEW_COLUMN = "f_skew"
+HONEST_COLUMN = "f_grp"
+
+#: The value carrying the physical point mass.
+HOT_VALUE = 7
+
+#: Claimed (and, for the cold tail, actual) domain of ``f_skew``.
+SKEW_DOMAIN = 10_000
+
+#: Domain of the honest ``f_grp`` column -- wide enough that equality
+#: lookups are genuinely selective, so the honest index truly earns its
+#: predicted benefit (guardrails must verify it, not quarantine it).
+HONEST_DOMAIN = 2_000
+
+
+def build_adversarial_store(
+    rows: int = 4_000,
+    seed: int = 7,
+    skew_fraction: float = 0.85,
+    mislead: bool = True,
+    params: Optional[CostParams] = None,
+) -> PhysicalStore:
+    """Build the facts table with (optionally) lying statistics.
+
+    Args:
+        rows: Physical row count of the facts table.
+        seed: RNG seed for reproducible data.
+        skew_fraction: Fraction of rows whose ``f_skew`` equals
+            :data:`HOT_VALUE`.
+        mislead: When True, overwrite the measured ``f_skew`` statistics
+            with a uniform claim over :data:`SKEW_DOMAIN` distinct values
+            (the adversarial lie).  When False, statistics stay truthful
+            -- the control arm where guardrails must change nothing.
+        params: Cost parameters; defaults to the engine's standard.
+
+    Returns:
+        A populated :class:`~repro.engine.storage.PhysicalStore` whose
+        catalog carries physical-scale statistics (predicted and observed
+        costs live on the same scale, so benchmark regret is directly
+        comparable).
+    """
+    rng = random.Random(seed)
+    catalog = Catalog(params=params)
+    catalog.add_table(
+        TableDef(
+            name=FACTS_TABLE,
+            columns=[
+                ColumnDef("f_id", DataType.INT),
+                ColumnDef(SKEW_COLUMN, DataType.INT),
+                ColumnDef(HONEST_COLUMN, DataType.INT),
+            ],
+        )
+    )
+    store = PhysicalStore(catalog)
+    heap = store.create_heap(FACTS_TABLE)
+    heap.insert_many(
+        (
+            i + 1,
+            HOT_VALUE
+            if rng.random() < skew_fraction
+            else rng.randint(1, SKEW_DOMAIN),
+            rng.randint(1, HONEST_DOMAIN),
+        )
+        for i in range(rows)
+    )
+    store.analyze(FACTS_TABLE)
+    if mislead:
+        # The lie: uniform over SKEW_DOMAIN distinct values, no
+        # histogram.  Equality on any value -- including the hot one --
+        # is now predicted at 1/SKEW_DOMAIN selectivity.
+        catalog.set_stats(
+            FACTS_TABLE,
+            SKEW_COLUMN,
+            ColumnStats(
+                n_distinct=float(SKEW_DOMAIN),
+                min_value=1,
+                max_value=SKEW_DOMAIN,
+            ),
+        )
+    return store
+
+
+def misleading_workload(
+    catalog: Catalog,
+    length: int = 240,
+    seed: int = 0,
+    hot_fraction: float = 0.7,
+) -> Workload:
+    """A query stream dominated by the over-promised predicate.
+
+    ``hot_fraction`` of the queries are ``COUNT(*) WHERE f_skew = HOT``
+    (predicted selective, actually not); the rest are honest equality
+    lookups on ``f_grp`` whose index genuinely earns its keep.  Both
+    columns become COLT candidates, so a tuner without guardrails
+    materializes the f_skew index and keeps paying for it.
+
+    Args:
+        catalog: The adversarial store's catalog (only used for shape;
+            predicates are bound directly, not drawn from statistics).
+        length: Number of queries.
+        seed: RNG seed.
+        hot_fraction: Fraction of hot-value skew queries.
+    """
+    del catalog  # shape is fixed; kept for builder-signature symmetry
+    rng = random.Random(seed)
+    queries = []
+    source = []
+    for _ in range(length):
+        if rng.random() < hot_fraction:
+            queries.append(_equality_count(SKEW_COLUMN, HOT_VALUE))
+            source.append("misleading-hot")
+        else:
+            queries.append(
+                _equality_count(HONEST_COLUMN, rng.randint(1, HONEST_DOMAIN))
+            )
+            source.append("honest")
+    return Workload(
+        queries=queries,
+        source=source,
+        description=(
+            f"misleading(n={length}, hot={hot_fraction:.0%}, "
+            f"table={FACTS_TABLE})"
+        ),
+    )
+
+
+def _equality_count(column: str, value: int) -> Query:
+    return Query(
+        tables=[FACTS_TABLE],
+        select=[SelectItem(expr=Aggregate(func=AggFunc.COUNT, arg=None))],
+        filters=[
+            ComparisonPredicate(
+                column=ColumnExpr(column, FACTS_TABLE),
+                op=CompareOp.EQ,
+                value=value,
+            )
+        ],
+    )

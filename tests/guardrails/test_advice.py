@@ -1,0 +1,95 @@
+"""DBA advice files: parsing, contradictions, resolution, round-trip."""
+
+import pytest
+
+from repro.guardrails.advice import (
+    AdviceBook,
+    AdviceError,
+    parse_directive,
+)
+from tests.fleet.workloads import build_small_catalog
+
+
+def test_parse_directives():
+    assert parse_directive("pin events.user_id").verb == "pin"
+    assert parse_directive("ban events.kind").target == "events.kind"
+    directive = parse_directive("prefer events.day 2.5")
+    assert directive.verb == "prefer"
+    assert directive.weight == 2.5
+    composite = parse_directive("pin events.user_id+day")
+    assert composite.columns == ("user_id", "day")
+
+
+@pytest.mark.parametrize(
+    "line",
+    [
+        "pin",  # no target
+        "freeze events.user_id",  # unknown verb
+        "pin events.user_id 2.0",  # pin takes no weight
+        "prefer events.day",  # prefer needs a weight
+        "prefer events.day nope",  # non-numeric weight
+        "prefer events.day 0",  # weight must be positive
+        "pin user_id",  # no table qualifier
+    ],
+)
+def test_parse_rejects_malformed(line):
+    with pytest.raises(AdviceError):
+        parse_directive(line)
+
+
+def test_parse_book_skips_comments_and_blanks():
+    book = AdviceBook.parse(
+        """
+        # production constraints
+        pin events.user_id   # keep the login path fast
+
+        ban events.kind
+        prefer events.day 2.0
+        """
+    )
+    assert len(book.directives) == 3
+
+
+def test_pin_ban_contradiction_raises():
+    with pytest.raises(AdviceError, match="pinned and banned"):
+        AdviceBook.parse("pin events.user_id\nban events.user_id")
+
+
+def test_last_directive_wins_per_verb():
+    book = AdviceBook.parse("prefer events.day 2.0\nprefer events.day 3.0")
+    (directive,) = book.directives
+    assert directive.weight == 3.0
+
+
+def test_resolve_against_catalog():
+    catalog = build_small_catalog()
+    book = AdviceBook.parse(
+        "pin events.user_id\nban events.kind\nprefer events.day 2.0"
+    )
+    pinned, banned, preferred = book.resolve(catalog)
+    assert [ix.name for ix in pinned] == ["ix_events_user_id"]
+    assert [ix.name for ix in banned] == ["ix_events_kind"]
+    assert [(ix.name, w) for ix, w in preferred] == [("ix_events_day", 2.0)]
+
+
+def test_resolve_unknown_column_raises():
+    catalog = build_small_catalog()
+    with pytest.raises(AdviceError, match="unknown column"):
+        AdviceBook.parse("pin events.no_such").resolve(catalog)
+    with pytest.raises(AdviceError, match="unknown table"):
+        AdviceBook.parse("pin nope.user_id").resolve(catalog)
+
+
+def test_snapshot_round_trip():
+    book = AdviceBook.parse(
+        "pin events.user_id\nban events.kind\nprefer events.day 2.0"
+    )
+    restored = AdviceBook.from_snapshot(book.to_snapshot())
+    assert restored.to_snapshot() == book.to_snapshot()
+
+
+def test_load_from_file(tmp_path):
+    path = tmp_path / "advice.txt"
+    path.write_text("pin events.user_id\n# comment\nban events.kind\n")
+    book = AdviceBook.load(path)
+    assert len(book.directives) == 2

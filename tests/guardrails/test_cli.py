@@ -1,0 +1,123 @@
+"""CLI surfaces for the guardrail subsystem: audit and fleet-status."""
+
+import json
+
+import pytest
+
+from repro.cli import EXIT_ERROR, build_parser, main
+
+
+class TestAuditParsing:
+    def test_defaults(self):
+        args = build_parser().parse_args(["audit"])
+        assert args.scenario == "misleading"
+        assert args.guardrails == "on"
+        assert not args.compare
+        assert args.json_out is None
+
+    def test_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["audit", "--scenario", "sunny"])
+
+    def test_fleet_run_guardrails_flag(self):
+        args = build_parser().parse_args(["fleet-run", "--guardrails", "on"])
+        assert args.guardrails == "on"
+        assert build_parser().parse_args(["fleet-run"]).guardrails == "off"
+
+
+class TestAuditCommand:
+    FAST = ["audit", "--queries", "160", "--seed", "1"]
+
+    def test_audit_reports_quarantine(self, capsys):
+        assert main(self.FAST) == 0
+        out = capsys.readouterr().out
+        assert "facts.f_skew" in out
+        # The over-promised index is in quarantine (its verdict column
+        # may already read "pending" again: dropping it reset evidence).
+        assert "quarantined (cooldown" in out
+
+    def test_audit_clean_scenario_no_false_positives(self, capsys):
+        assert main(["audit", "--scenario", "clean", "--queries", "160"]) == 0
+        out = capsys.readouterr().out
+        assert "regressed" not in out
+        assert "quarantined (cooldown" not in out
+
+    def test_audit_compare_wins_and_writes_json(self, capsys, tmp_path):
+        target = tmp_path / "audit.json"
+        assert (
+            main(
+                [
+                    "audit",
+                    "--queries",
+                    "240",
+                    "--seed",
+                    "1",
+                    "--compare",
+                    "--json",
+                    str(target),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "regret saved" in out
+        document = json.loads(target.read_text())
+        assert document["scenario"] == "misleading"
+        assert {"on", "off"} <= set(document["arms"])
+        assert document["regret_saved"] > 0.0
+        on = document["arms"]["on"]
+        assert "ix_facts_f_skew" in on["quarantined"]
+
+    def test_audit_respects_advice_file(self, capsys, tmp_path):
+        advice = tmp_path / "advice.txt"
+        advice.write_text("ban facts.f_skew\n")
+        assert main(self.FAST + ["--advice", str(advice)]) == 0
+        out = capsys.readouterr().out
+        assert "ban" in out
+
+    def test_audit_rejects_bad_advice_file(self, capsys, tmp_path):
+        advice = tmp_path / "advice.txt"
+        advice.write_text("pin facts.f_skew\nban facts.f_skew\n")
+        assert main(self.FAST + ["--advice", str(advice)]) == EXIT_ERROR
+
+
+class TestFleetStatusGuardrails:
+    FLEET = [
+        "fleet-run",
+        "--replicas", "2",
+        "--phase-length", "15",
+        "--transition", "5",
+        "--fleet-epoch", "10",
+        "--seed", "3",
+        "--guardrails", "on",
+    ]
+
+    def _snapshot(self, tmp_path, capsys):
+        target = tmp_path / "state"
+        assert main(self.FLEET + ["--snapshot-dir", str(target)]) == 0
+        capsys.readouterr()
+        return target
+
+    def test_fleet_run_prints_rollout_summary(self, capsys, tmp_path):
+        assert main(self.FLEET) == 0
+        out = capsys.readouterr().out
+        assert "rollouts:" in out
+        assert "promoted:" in out
+
+    def test_fleet_status_text_shows_quarantine_column(self, capsys, tmp_path):
+        target = self._snapshot(tmp_path, capsys)
+        assert main(["fleet-status", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "quarantined" in out
+
+    def test_fleet_status_json_document(self, capsys, tmp_path):
+        target = self._snapshot(tmp_path, capsys)
+        assert main(["fleet-status", str(target), "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert len(document["replicas"]) == 2
+        for entry in document["replicas"]:
+            assert "quarantined" in entry
+            assert entry["integrity"] == "OK"
+        assert "rollouts" in document
+        for rollout in document["rollouts"]:
+            assert {"index", "stage", "canary"} <= set(rollout)

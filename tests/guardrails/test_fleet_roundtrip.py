@@ -1,0 +1,120 @@
+"""Fleet snapshots carry guardrail state: quarantine + rollout survive."""
+
+from repro.core.config import ColtConfig
+from repro.fleet.coordinator import FleetCoordinator
+from repro.fleet.snapshots import restore_fleet, save_fleet, snapshot_fleet
+from repro.guardrails.manager import GuardrailConfig
+from repro.guardrails.rollout import RolloutStage
+from tests.fleet.workloads import build_small_catalog, day_query, eq_query
+
+
+def make_fleet(n=2, guardrails=True):
+    return FleetCoordinator(
+        build_small_catalog,
+        n_replicas=n,
+        config=ColtConfig(
+            storage_budget_pages=6000.0, epoch_length=5, min_history_epochs=2
+        ),
+        policy="affinity",
+        fleet_epoch_length=10,
+        guardrails=GuardrailConfig() if guardrails else None,
+    )
+
+
+def warm_fleet(fleet, n=40):
+    for i in range(n):
+        query = eq_query(i + 1) if i % 2 == 0 else day_query(8000 + i)
+        fleet.process_query(query)
+    return fleet
+
+
+def test_manifest_carries_quarantine_and_rollout():
+    fleet = warm_fleet(make_fleet())
+    # Force one quarantine entry so the manifest has something to carry.
+    replica = fleet.replicas[0]
+    index = replica.catalog.index_for("events", "kind")
+    replica.tuner.guardrails.quarantine.admit(index, ratio=0.2)
+
+    manifest = snapshot_fleet(fleet)
+    entry = next(
+        e for e in manifest["replicas"] if e["replica_id"] == replica.replica_id
+    )
+    assert "ix_events_kind" in entry["quarantined"]
+    assert "rollout" in manifest
+    assert manifest["rollout"]["records"] or manifest["rollout"]["baseline"]
+
+
+def test_manifest_omits_rollout_without_guardrails():
+    fleet = warm_fleet(make_fleet(guardrails=False))
+    manifest = snapshot_fleet(fleet)
+    assert "rollout" not in manifest
+    for entry in manifest["replicas"]:
+        assert entry["quarantined"] == []
+
+
+def test_round_trip_preserves_quarantine_and_rollout(tmp_path):
+    fleet = warm_fleet(make_fleet())
+    replica = fleet.replicas[0]
+    index = replica.catalog.index_for("events", "kind")
+    replica.tuner.guardrails.quarantine.admit(index, ratio=0.2)
+    stages = {
+        f"{r.index.table}.{'+'.join(r.index.columns)}": r.stage
+        for r in fleet.rollout.records
+    }
+
+    save_fleet(tmp_path, fleet)
+    restored = restore_fleet(tmp_path, build_small_catalog)
+
+    # Per-replica quarantine came back through the tuner snapshots.
+    r0 = next(
+        r for r in restored.replicas if r.replica_id == replica.replica_id
+    )
+    assert "ix_events_kind" in r0.quarantined_names
+    entry = r0.tuner.guardrails.quarantine.entry_for(index)
+    assert entry is not None and entry.state == "quarantined"
+
+    # The staged-rollout controller came back through the manifest.
+    assert restored.rollout is not None
+    restored_stages = {
+        f"{r.index.table}.{'+'.join(r.index.columns)}": r.stage
+        for r in restored.rollout.records
+    }
+    assert restored_stages == stages
+    # A restored fleet keeps tuning: quarantined index stays banned.
+    warm_fleet(restored, n=20)
+    assert "ix_events_kind" not in {
+        ix.name for ix in r0.tuner.materialized_set
+    }
+
+
+def test_round_trip_without_guardrails(tmp_path):
+    fleet = warm_fleet(make_fleet(guardrails=False))
+    save_fleet(tmp_path, fleet)
+    restored = restore_fleet(tmp_path, build_small_catalog)
+    assert restored.rollout is None
+    assert all(r.tuner.guardrails is None for r in restored.replicas)
+    warm_fleet(restored, n=10)  # still serves queries
+
+
+def test_rollout_promotes_across_restart(tmp_path):
+    fleet = warm_fleet(make_fleet())
+    save_fleet(tmp_path, fleet)
+    restored = restore_fleet(tmp_path, build_small_catalog)
+    # Keep running: canaries eventually verify (plan-cost observer means
+    # observed == predicted) and promote on a later fleet epoch.
+    warm_fleet(restored, n=60)
+    assert restored.rollout is not None
+    promoted = [
+        r
+        for r in restored.rollout.records
+        if r.stage is RolloutStage.PROMOTED
+    ]
+    active = [
+        r for r in restored.rollout.records if r.stage is RolloutStage.CANARY
+    ]
+    # Nothing rolled back on a clean workload.
+    assert all(
+        r.stage is not RolloutStage.ROLLED_BACK
+        for r in restored.rollout.records
+    )
+    assert promoted or active or restored.rollout.records == []

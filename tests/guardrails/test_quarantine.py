@@ -1,0 +1,120 @@
+"""Quarantine lifecycle: cooldown, parole, re-trips, persistence."""
+
+from repro.guardrails.quarantine import Quarantine
+from tests.fleet.workloads import build_small_catalog
+
+
+def _indexes():
+    catalog = build_small_catalog()
+    return catalog.index_for("events", "user_id"), catalog.index_for(
+        "events", "day"
+    )
+
+
+def test_admit_blocks_until_cooldown():
+    index, _ = _indexes()
+    quarantine = Quarantine(cooldown_epochs=3)
+    entry = quarantine.admit(index, ratio=0.1)
+    assert entry.state == "quarantined"
+    assert entry.cooldown_remaining == 3
+    assert index in quarantine
+    assert [ix.name for ix in quarantine.blocked()] == [index.name]
+
+    for remaining in (2, 1, 0):
+        quarantine.tick_epoch(materialized=[])
+        assert quarantine.entry_for(index).cooldown_remaining == remaining
+    # Cooldown served: the entry is on parole, ban lifted.
+    assert quarantine.entry_for(index).state == "parole"
+    assert quarantine.blocked() == []
+
+
+def test_parole_expires_unused():
+    index, _ = _indexes()
+    quarantine = Quarantine(cooldown_epochs=2)
+    quarantine.admit(index, ratio=0.2)
+    quarantine.tick_epoch([])
+    # The tick that ends cooldown starts parole AND counts as its first
+    # unused epoch.
+    quarantine.tick_epoch([])
+    assert quarantine.entry_for(index).state == "parole"
+    assert quarantine.entry_for(index).parole_ticks == 1
+    # A second epoch with the index never re-materialized: released.
+    released = quarantine.tick_epoch([])
+    assert [ix.name for ix in released] == [index.name]
+    assert index not in quarantine
+    assert quarantine.total_releases == 1
+
+
+def test_parole_clock_holds_while_rematerialized():
+    index, _ = _indexes()
+    quarantine = Quarantine(cooldown_epochs=2)
+    quarantine.admit(index, ratio=0.2)
+    quarantine.tick_epoch([])
+    quarantine.tick_epoch([])  # -> parole
+    # Re-materialized: re-verification is running, parole clock holds.
+    for _ in range(5):
+        assert quarantine.tick_epoch([index]) == []
+    assert index in quarantine
+
+
+def test_retrip_increments_strikes_and_restarts_cooldown():
+    index, _ = _indexes()
+    quarantine = Quarantine(cooldown_epochs=2)
+    quarantine.admit(index, ratio=0.2)
+    quarantine.tick_epoch([])
+    quarantine.tick_epoch([])  # -> parole
+    entry = quarantine.admit(index, ratio=0.1)  # second REGRESSED verdict
+    assert entry.strikes == 2
+    assert entry.state == "quarantined"
+    assert entry.cooldown_remaining == 2
+    assert quarantine.total_quarantines == 2
+
+
+def test_clear_releases_outright():
+    index, other = _indexes()
+    quarantine = Quarantine()
+    quarantine.admit(index, ratio=0.3)
+    assert quarantine.clear(index)
+    assert index not in quarantine
+    assert not quarantine.clear(other)  # never admitted
+
+
+def test_snapshot_round_trip_preserves_clocks():
+    index, other = _indexes()
+    quarantine = Quarantine(cooldown_epochs=4)
+    quarantine.admit(index, ratio=0.15)
+    quarantine.tick_epoch([])  # one epoch of cooldown served
+    quarantine.admit(other, ratio=0.4)
+    # Push `other`... keep index mid-cooldown; now serialize.
+    snapshot = quarantine.to_snapshot()
+
+    restored = Quarantine.from_snapshot(snapshot, build_small_catalog())
+    assert len(restored) == 2
+    entry = restored.entry_for(index)
+    assert entry.state == "quarantined"
+    assert entry.cooldown_remaining == 3  # clock survived, not reset
+    assert entry.ratio == 0.15
+    assert restored.total_quarantines == quarantine.total_quarantines
+
+    # The restored clock keeps ticking from where it stopped.
+    for _ in range(3):
+        restored.tick_epoch([])
+    assert restored.entry_for(index).state == "parole"
+
+
+def test_snapshot_round_trip_preserves_parole():
+    index, _ = _indexes()
+    quarantine = Quarantine(cooldown_epochs=2)
+    quarantine.admit(index, ratio=0.2)
+    quarantine.tick_epoch([])
+    quarantine.tick_epoch([])  # -> parole, first unused parole tick
+
+    restored = Quarantine.from_snapshot(
+        quarantine.to_snapshot(), build_small_catalog()
+    )
+    entry = restored.entry_for(index)
+    assert entry.state == "parole"
+    assert entry.parole_ticks == 1
+    # One more unused parole epoch releases it, same as the original.
+    released = restored.tick_epoch([])
+    assert [ix.name for ix in released] == [index.name]

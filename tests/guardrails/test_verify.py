@@ -1,0 +1,136 @@
+"""Verification math: ratios, windows, trivial verdicts, observers."""
+
+import pytest
+
+from repro.engine.cost_params import CostParams
+from repro.executor.instrument import ExecutionCounters
+from repro.guardrails.verify import (
+    ROWS_PER_SEQ_PAGE,
+    IndexVerifier,
+    Observation,
+    PlanCostObserver,
+    Verdict,
+    observed_cost,
+)
+from tests.fleet.workloads import build_small_catalog
+
+
+def _index():
+    return build_small_catalog().index_for("events", "user_id")
+
+
+def _obs(p_with, p_without, o_with, o_without):
+    return Observation(
+        predicted_with=p_with,
+        predicted_without=p_without,
+        observed_with=o_with,
+        observed_without=o_without,
+    )
+
+
+def test_verdict_waits_for_window():
+    verifier = IndexVerifier(window=3)
+    index = _index()
+    for _ in range(2):
+        state = verifier.record(index, _obs(10.0, 100.0, 10.0, 100.0))
+        assert state.verdict is Verdict.PENDING
+    state = verifier.record(index, _obs(10.0, 100.0, 10.0, 100.0))
+    assert state.verdict is Verdict.VERIFIED
+    assert state.ratio == pytest.approx(1.0)
+
+
+def test_regressed_when_observed_falls_short():
+    verifier = IndexVerifier(window=2, quarantine_ratio=0.5)
+    index = _index()
+    # Predicted 90% savings; observed 10% savings -> ratio ~0.11.
+    verifier.record(index, _obs(10.0, 100.0, 90.0, 100.0))
+    state = verifier.record(index, _obs(10.0, 100.0, 90.0, 100.0))
+    assert state.verdict is Verdict.REGRESSED
+    assert state.ratio == pytest.approx((10.0 / 100.0) / (90.0 / 100.0))
+
+
+def test_ratio_is_scale_free():
+    """Observer units differ from optimizer units; ratio is unaffected."""
+    verifier = IndexVerifier(window=1)
+    # Observed costs are 1000x smaller but save the same fraction.
+    state = verifier.record(_index(), _obs(20.0, 100.0, 0.02, 0.1))
+    assert state.ratio == pytest.approx(1.0)
+    assert state.verdict is Verdict.VERIFIED
+
+
+def test_negligible_promise_is_trivially_verified():
+    verifier = IndexVerifier(window=1, min_predicted_fraction=0.01)
+    # Predicted savings 0.1% -- below the promise floor.
+    state = verifier.record(_index(), _obs(99.9, 100.0, 200.0, 100.0))
+    assert state.ratio is None
+    assert state.verdict is Verdict.VERIFIED
+
+
+def test_negative_observed_gain_regresses():
+    verifier = IndexVerifier(window=1, quarantine_ratio=0.5)
+    # The index plan was observed *worse* than the seq scan.
+    state = verifier.record(_index(), _obs(10.0, 100.0, 150.0, 100.0))
+    assert state.ratio < 0.0
+    assert state.verdict is Verdict.REGRESSED
+
+
+def test_reset_forgets_evidence():
+    verifier = IndexVerifier(window=1)
+    index = _index()
+    verifier.record(index, _obs(10.0, 100.0, 10.0, 100.0))
+    assert verifier.verdict_for(index) is Verdict.VERIFIED
+    verifier.reset(index)
+    assert verifier.verdict_for(index) is Verdict.PENDING
+    assert verifier.needs_samples(index)
+
+
+def test_snapshot_round_trip():
+    catalog = build_small_catalog()
+    verifier = IndexVerifier(window=2)
+    index = catalog.index_for("events", "user_id")
+    verifier.record(index, _obs(10.0, 100.0, 50.0, 100.0))
+    verifier.record(index, _obs(10.0, 100.0, 50.0, 100.0))
+
+    restored = IndexVerifier(window=2)
+    restored.restore(verifier.to_snapshot(), build_small_catalog())
+    state = restored.state_for(index)
+    assert state is not None
+    assert state.samples == 2
+    assert state.verdict is verifier.state_for(index).verdict
+    assert state.ratio == pytest.approx(verifier.state_for(index).ratio)
+
+
+def test_plan_cost_observer_mirrors_predictions():
+    observation = PlanCostObserver().observe(None, None, 12.5, 80.0)
+    assert observation.observed_with == 12.5
+    assert observation.observed_without == 80.0
+    assert observation.charge == 0.0
+
+
+def test_observed_cost_weighs_counters():
+    params = CostParams()
+    counters = ExecutionCounters(
+        heap_rows_read=ROWS_PER_SEQ_PAGE,  # exactly one sequential page
+        heap_cells_read=0,
+        index_searches=1,
+        index_entries_read=10,
+    )
+    cost = observed_cost(counters, params)
+    expected = (
+        ROWS_PER_SEQ_PAGE * (params.cpu_tuple_cost + params.seq_page_cost / ROWS_PER_SEQ_PAGE)
+        + params.random_page_cost
+        + 10 * (params.cpu_index_tuple_cost + params.random_page_cost)
+    )
+    assert cost == pytest.approx(expected)
+    # Index entries drag random-page fetches: far pricier per row than
+    # sequential heap reads -- the term a lying selectivity hides.
+    per_index_row = params.cpu_index_tuple_cost + params.random_page_cost
+    per_seq_row = params.cpu_tuple_cost + params.seq_page_cost / ROWS_PER_SEQ_PAGE
+    assert per_index_row > 100 * per_seq_row
+
+
+def test_verifier_rejects_bad_params():
+    with pytest.raises(ValueError):
+        IndexVerifier(window=0)
+    with pytest.raises(ValueError):
+        IndexVerifier(quarantine_ratio=0.0)

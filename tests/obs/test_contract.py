@@ -17,6 +17,7 @@ from repro.obs.names import (
     CATALOG,
     FLEET_METRICS,
     GAINCACHE_METRICS,
+    GUARDRAIL_METRICS,
     PROFILER_METRICS,
     RESILIENCE_METRICS,
     SCHEDULER_METRICS,
@@ -40,6 +41,7 @@ class TestCatalogShape:
             **SCHEDULER_METRICS,
             **RESILIENCE_METRICS,
             **FLEET_METRICS,
+            **GUARDRAIL_METRICS,
         }
         assert CATALOG == union
 
