@@ -1,0 +1,183 @@
+"""Snapshot and restore for the bandit tuner's learned state.
+
+Persists everything the bandit would otherwise have to re-learn: the
+ridge model (``V``, ``b``), the materialized and hot sets, candidate
+crude-benefit windows, the feature map's read/write EWMA rates, the
+safety-fallback state (live bans and the watched change), and the
+decision-round clock.  Guardrail state rides along exactly as for COLT
+snapshots.
+
+The produced dictionaries are JSON-compatible and carry
+``"engine": "bandit"`` so :func:`repro.persist.snapshot_any` /
+:func:`repro.persist.restore_any` can dispatch on the engine without
+the caller knowing which tuner wrote the file.  The on-disk envelope
+(checksum, atomic write) is shared with COLT via
+:func:`repro.persist.save_json`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+from repro.bandit.config import BanditConfig
+from repro.bandit.linucb import RidgeModel
+from repro.bandit.tuner import BanditTuner, _key
+from repro.core.candidates import CandidateStats
+from repro.engine.catalog import Catalog
+from repro.engine.storage import PhysicalStore
+from repro.guardrails.manager import GuardrailManager
+from repro.guardrails.verify import CostObserver
+from repro.persist import SNAPSHOT_VERSION, SnapshotError, _key_text, _resolve
+
+#: Engine tag embedded in every bandit snapshot.
+ENGINE = "bandit"
+
+
+def snapshot_bandit_tuner(tuner: BanditTuner) -> Dict:
+    """Serialize a bandit tuner's durable state to a JSON dict."""
+    candidates = []
+    for stats in tuner.profiler.candidates.ranked():
+        candidates.append(
+            {
+                "table": stats.index.table,
+                "columns": list(stats.index.columns),
+                "window": list(stats._window),  # noqa: SLF001 - owner module
+                "smoothed": stats.smoothed_benefit,
+            }
+        )
+    watch = None
+    if tuner._safety_watch is not None:  # noqa: SLF001 - owner module
+        added, baseline = tuner._safety_watch  # noqa: SLF001
+        watch = {
+            "added": [[ix.table, list(ix.columns)] for ix in added],
+            "baseline": baseline,
+        }
+    return {
+        "version": SNAPSHOT_VERSION,
+        "engine": ENGINE,
+        "config": dataclasses.asdict(tuner.config),
+        "materialized": [
+            [ix.table, list(ix.columns)] for ix in tuner.materialized_set
+        ],
+        "hot": [[ix.table, list(ix.columns)] for ix in tuner.hot_set],
+        "candidates": candidates,
+        "model": tuner.model.to_snapshot(),
+        "features": tuner.features.to_snapshot(),
+        "epochs_closed": tuner.epochs_closed,
+        "prev_solution_value": tuner._prev_solution_value,  # noqa: SLF001
+        "safety": {
+            "bans": {
+                _key_text(ix.table, ix.columns): remaining
+                for ix, remaining in sorted(
+                    tuner._safety_bans.values(),  # noqa: SLF001
+                    key=lambda pair: str(pair[0]),
+                )
+            },
+            "watch": watch,
+        },
+        **(
+            {"guardrails": tuner.guardrails.to_snapshot()}
+            if tuner.guardrails is not None
+            else {}
+        ),
+    }
+
+
+def restore_bandit_tuner(
+    catalog: Catalog,
+    snapshot: Dict,
+    store: Optional[PhysicalStore] = None,
+    observer: Optional[CostObserver] = None,
+) -> BanditTuner:
+    """Rebuild a bandit tuner from a snapshot over an equivalent catalog.
+
+    Materialized indexes are re-registered (and physically rebuilt when
+    a store is given) without charging build cost, matching the COLT
+    restore semantics.
+
+    Raises:
+        SnapshotError: on version or engine mismatch, references to
+            unknown tables/columns, or any malformed structure.
+    """
+    if not isinstance(snapshot, dict):
+        raise SnapshotError(
+            f"snapshot must be a dict, got {type(snapshot).__name__}"
+        )
+    if snapshot.get("version") != SNAPSHOT_VERSION:
+        raise SnapshotError(
+            f"unsupported snapshot version {snapshot.get('version')!r}"
+        )
+    if snapshot.get("engine") != ENGINE:
+        raise SnapshotError(
+            f"not a bandit snapshot (engine={snapshot.get('engine')!r})"
+        )
+    try:
+        return _restore(catalog, snapshot, store, observer)
+    except SnapshotError:
+        raise
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
+        raise SnapshotError(f"malformed snapshot: {exc!r}") from exc
+
+
+def _restore(
+    catalog: Catalog,
+    snapshot: Dict,
+    store: Optional[PhysicalStore],
+    observer: Optional[CostObserver],
+) -> BanditTuner:
+    config = BanditConfig(**snapshot["config"])
+    guardrails = None
+    if "guardrails" in snapshot:
+        guardrails = GuardrailManager.from_snapshot(
+            snapshot["guardrails"], catalog, observer=observer
+        )
+    tuner = BanditTuner(catalog, config, store=store, guardrails=guardrails)
+
+    for table, columns in snapshot["materialized"]:
+        index = _resolve(catalog, table, columns)
+        if store is not None:
+            store.build_index(index)
+        else:
+            catalog.materialize_index(index)
+        tuner.materialized.add(index)
+    tuner.hot = [
+        _resolve(catalog, table, columns) for table, columns in snapshot["hot"]
+    ]
+
+    tracker = tuner.profiler.candidates
+    for entry in snapshot["candidates"]:
+        index = _resolve(catalog, entry["table"], entry["columns"])
+        stats = CandidateStats(index, config.history_epochs, config.smoothing)
+        for value in entry["window"][-config.history_epochs:]:
+            stats._window.append(float(value))  # noqa: SLF001
+        stats._smoothed = float(entry["smoothed"])  # noqa: SLF001
+        tracker._stats[_key(index)] = stats  # noqa: SLF001
+
+    model = RidgeModel.from_snapshot(snapshot["model"])
+    if model.dim != tuner.model.dim:
+        raise SnapshotError(
+            f"model dimension {model.dim} does not match the feature map"
+            f" ({tuner.model.dim})"
+        )
+    tuner.model = model
+    tuner.features.restore(snapshot.get("features"))
+    tuner._epochs_closed = int(snapshot.get("epochs_closed", 0))  # noqa: SLF001
+    tuner._prev_solution_value = float(  # noqa: SLF001
+        snapshot.get("prev_solution_value", 0.0)
+    )
+
+    safety = snapshot.get("safety", {})
+    bans = {}
+    for key_text, remaining in safety.get("bans", {}).items():
+        table, _, rest = key_text.partition(":")
+        index = _resolve(catalog, table, rest.split(","))
+        bans[_key(index)] = (index, int(remaining))
+    tuner._safety_bans = bans  # noqa: SLF001
+    watch = safety.get("watch")
+    if watch:
+        tuner._safety_watch = (  # noqa: SLF001
+            [_resolve(catalog, t, cols) for t, cols in watch["added"]],
+            float(watch["baseline"]),
+        )
+    return tuner

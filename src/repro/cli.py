@@ -10,8 +10,10 @@ Exposes the reproduction's experiments and a few interactive utilities::
     python -m repro explain "select ..."   # optimize a query against the
                                            #   paper catalog and show the plan
     python -m repro check-snapshot FILE    # validate a saved tuner snapshot
-    python -m repro run [--metrics-out F]  # run COLT and report the overhead
-                                           #   dashboard (+ metrics snapshot)
+                                           #   (COLT or bandit, auto-detected)
+    python -m repro run [--engine E]       # run a tuning engine (colt,
+                                           #   bandit, offline, continuous)
+                                           #   and report its dashboard
     python -m repro metrics                # emit a Prometheus/JSON metrics
                                            #   snapshot (live or --from FILE)
     python -m repro fleet-run              # replicated tuning fleet behind a
@@ -51,6 +53,38 @@ EXIT_ERROR = 1
 EXIT_PARSE = 2
 EXIT_BIND = 3
 EXIT_SNAPSHOT = 4
+
+#: Engines selectable via ``--engine``.  Every command carrying the flag
+#: accepts the same four names; combinations an engine cannot serve
+#: (e.g. ``timeline --engine offline``) fail with a clear error.
+ENGINE_CHOICES = ("colt", "bandit", "offline", "continuous")
+
+
+def _add_engine_flag(parser: argparse.ArgumentParser, support: str) -> None:
+    parser.add_argument(
+        "--engine",
+        choices=ENGINE_CHOICES,
+        default="colt",
+        help=f"tuning engine ({support}; see the README engine table)",
+    )
+
+
+def _require_epoch_engine(command: str, engine: str) -> None:
+    """Commands driving the on-line epoch loop accept colt/bandit only."""
+    if engine not in ("colt", "bandit"):
+        raise ValueError(
+            f"{command} drives an on-line epoch-loop tuner; "
+            f"--engine {engine} is only available on 'run' "
+            "(use colt or bandit here)"
+        )
+
+
+def _check_gain_cache(engine: str, gain_cache: str) -> None:
+    if gain_cache == "on" and engine != "colt":
+        raise ValueError(
+            "--gain-cache on requires --engine colt: only COLT caches "
+            "what-if gains (the bandit learns from observed rewards)"
+        )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -114,7 +148,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     pt = sub.add_parser(
-        "timeline", help="per-epoch timeline of a COLT run (watch it tune)"
+        "timeline", help="per-epoch timeline of a tuning run (watch it tune)"
     )
     pt.add_argument(
         "--workload",
@@ -131,8 +165,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--gain-cache",
         choices=("on", "off"),
         default="off",
-        help="cross-query what-if gain cache (see docs/PERFORMANCE.md)",
+        help="cross-query what-if gain cache (COLT only; see "
+        "docs/PERFORMANCE.md)",
     )
+    _add_engine_flag(pt, "epoch-loop engines only (colt, bandit)")
 
     ps = sub.add_parser(
         "check-snapshot",
@@ -142,7 +178,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     pr = sub.add_parser(
         "run",
-        help="run COLT over a paper workload and report the overhead dashboard",
+        help="run a tuning engine over a paper workload and report the "
+        "overhead dashboard",
     )
     pr.add_argument(
         "--workload",
@@ -171,8 +208,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--gain-cache",
         choices=("on", "off"),
         default="off",
-        help="cross-query what-if gain cache (see docs/PERFORMANCE.md)",
+        help="cross-query what-if gain cache (COLT only; see "
+        "docs/PERFORMANCE.md)",
     )
+    _add_engine_flag(pr, "all four engines")
 
     pm = sub.add_parser(
         "metrics",
@@ -251,6 +290,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-replica verification/quarantine plus staged canary "
         "rollout of new indexes (see docs/GUARDRAILS.md)",
     )
+    _add_engine_flag(pf, "epoch-loop engines only (colt, bandit)")
 
     pg = sub.add_parser(
         "fleet-status",
@@ -425,6 +465,8 @@ def _run_timeline(args) -> None:
     from repro.workload import build_catalog, shifting_workload, stable_workload
     from repro.workload.experiments import phase_distributions, stable_distribution
 
+    _require_epoch_engine("timeline", args.engine)
+    _check_gain_cache(args.engine, args.gain_cache)
     catalog = build_catalog()
     if args.workload == "stable":
         workload = stable_workload(
@@ -438,6 +480,9 @@ def _run_timeline(args) -> None:
             transition=30,
             seed=args.seed,
         )
+    if args.engine == "bandit":
+        _bandit_timeline(args, workload)
+        return
     trace = trace_run(
         build_catalog(),
         workload.queries,
@@ -451,25 +496,57 @@ def _run_timeline(args) -> None:
     print(trace.render_timeline())
 
 
+def _bandit_timeline(args, workload) -> None:
+    """Per-round timeline of a bandit run (``trace_run`` is COLT-only)."""
+    from repro.bandit import BanditConfig, BanditTuner
+    from repro.workload import build_catalog
+
+    tuner = BanditTuner(
+        build_catalog(),
+        BanditConfig(storage_budget_pages=args.budget, seed=args.seed),
+    )
+    print(f"workload: {workload.description} (engine: bandit)\n")
+    print(f"{'round':>5} {'exec cost':>12} {'probes':>6} {'|M|':>4}  changes")
+    epoch_cost = 0.0
+    probes = 0
+    epoch = 0
+    for outcome in tuner.run(workload.queries):
+        epoch_cost += outcome.execution_cost
+        probes += outcome.whatif_calls
+        if outcome.epoch_ended and outcome.reorganization is not None:
+            reorg = outcome.reorganization
+            changes = [f"+{ix.name}" for ix in reorg.materialize]
+            changes += [f"-{ix.name}" for ix in reorg.drop]
+            print(
+                f"{epoch:>5} {epoch_cost:>12,.0f} {probes:>6} "
+                f"{len(tuner.materialized_set):>4}  {' '.join(changes) or '-'}"
+            )
+            epoch_cost = 0.0
+            probes = 0
+            epoch += 1
+    final = ", ".join(ix.name for ix in tuner.materialized_set) or "(none)"
+    print(f"\nfinal materialized: {final}")
+
+
 def _run_check_snapshot(args) -> None:
-    from repro.persist import load_json, restore_tuner
+    from repro.persist import load_json, restore_any
     from repro.workload import build_catalog
 
     snapshot = load_json(args.path)
-    tuner = restore_tuner(build_catalog(), snapshot)
-    print(f"{args.path}: OK (version {snapshot['version']})")
+    tuner = restore_any(build_catalog(), snapshot)
+    engine = snapshot.get("engine", "colt")
+    print(f"{args.path}: OK (version {snapshot['version']}, engine {engine})")
     print(f"  materialized: {len(tuner.materialized_set)} indexes")
     print(f"  hot:          {len(tuner.hot_set)} indexes")
     print(f"  what-if budget: {tuner.profiler.whatif_budget}")
 
 
 def _run_run(args) -> None:
-    from repro.core.colt import ColtTuner
-    from repro.core.config import ColtConfig
     from repro.obs.export import write_metrics
     from repro.workload import build_catalog, shifting_workload, stable_workload
     from repro.workload.experiments import phase_distributions, stable_distribution
 
+    _check_gain_cache(args.engine, args.gain_cache)
     catalog = build_catalog()
     if args.workload == "stable":
         workload = stable_workload(
@@ -483,7 +560,46 @@ def _run_run(args) -> None:
             transition=30,
             seed=args.seed,
         )
-    tuner = ColtTuner(
+    if args.engine == "offline":
+        _run_offline(args, workload)
+        return
+    if args.engine == "continuous":
+        _run_continuous(args, workload)
+        return
+    tuner = _build_engine_tuner(args)
+    outcomes = tuner.run(workload.queries)
+    print(f"workload: {workload.description}")
+    print(f"engine:   {args.engine}")
+    print(
+        f"queries:  {len(outcomes)}; epochs: {len(tuner.dashboard.records)}; "
+        f"materialized: {len(tuner.materialized_set)}"
+    )
+    print(f"total cost: {sum(o.total_cost for o in outcomes):,.0f}\n")
+    if args.engine == "bandit":
+        print("observation overhead dashboard (requested / granted / spent):")
+    else:
+        print("what-if overhead dashboard (requested / granted / spent):")
+    print(tuner.dashboard.render())
+    if args.metrics_out:
+        fmt = write_metrics(args.metrics_out, tuner.metrics_snapshot())
+        print(f"\nmetrics snapshot written: {args.metrics_out} ({fmt})")
+
+
+def _build_engine_tuner(args):
+    """A colt or bandit tuner over the paper catalog, from CLI args."""
+    from repro.workload import build_catalog
+
+    if args.engine == "bandit":
+        from repro.bandit import BanditConfig, BanditTuner
+
+        return BanditTuner(
+            build_catalog(),
+            BanditConfig(storage_budget_pages=args.budget, seed=args.seed),
+        )
+    from repro.core.colt import ColtTuner
+    from repro.core.config import ColtConfig
+
+    return ColtTuner(
         build_catalog(),
         ColtConfig(
             storage_budget_pages=args.budget,
@@ -491,18 +607,53 @@ def _run_run(args) -> None:
             gain_cache=args.gain_cache == "on",
         ),
     )
+
+
+def _run_offline(args, workload) -> None:
+    """The OFFLINE baseline under ``run``: exact selection, free tuning."""
+    if args.metrics_out:
+        raise ValueError(
+            "--metrics-out requires an on-line engine (colt or bandit); "
+            "the offline baseline emits no metrics"
+        )
+    from repro.baselines.offline import OfflineTuner
+    from repro.workload import build_catalog
+
+    result = OfflineTuner(build_catalog()).tune(
+        workload.queries, budget_pages=args.budget
+    )
+    reduction = 1.0 - result.total_cost / max(result.baseline_cost, 1e-9)
+    print(f"workload: {workload.description}")
+    print("engine:   offline (exact baseline; selection happens for free)")
+    print(f"configurations examined: {result.configurations_examined}")
+    print(f"baseline cost: {result.baseline_cost:,.0f}")
+    print(f"tuned cost:    {result.total_cost:,.0f} ({reduction:.1%} saved)")
+    chosen = ", ".join(ix.name for ix in result.indexes) or "(none)"
+    print(f"chosen indexes: {chosen}")
+
+
+def _run_continuous(args, workload) -> None:
+    """The QUIET-style continuous baseline under ``run``."""
+    if args.metrics_out:
+        raise ValueError(
+            "--metrics-out requires an on-line engine (colt or bandit); "
+            "the continuous baseline emits no metrics"
+        )
+    from repro.baselines.continuous import ContinuousConfig, ContinuousTuner
+    from repro.workload import build_catalog
+
+    tuner = ContinuousTuner(
+        build_catalog(), ContinuousConfig(storage_budget_pages=args.budget)
+    )
     outcomes = tuner.run(workload.queries)
     print(f"workload: {workload.description}")
+    print("engine:   continuous (QUIET-style, unregulated what-if)")
     print(
-        f"queries:  {len(outcomes)}; epochs: {len(tuner.dashboard.records)}; "
+        f"queries:  {len(outcomes)}; "
         f"materialized: {len(tuner.materialized_set)}"
     )
-    print(f"total cost: {sum(o.total_cost for o in outcomes):,.0f}\n")
-    print("what-if overhead dashboard (requested / granted / spent):")
-    print(tuner.dashboard.render())
-    if args.metrics_out:
-        fmt = write_metrics(args.metrics_out, tuner.metrics_snapshot())
-        print(f"\nmetrics snapshot written: {args.metrics_out} ({fmt})")
+    print(f"total cost: {sum(o.total_cost for o in outcomes):,.0f}")
+    print(f"what-if calls: {sum(o.whatif_calls for o in outcomes)}")
 
 
 def _live_metrics_snapshot(seed: int):
@@ -557,6 +708,8 @@ def _run_fleet(args) -> None:
     from repro.workload import build_catalog, multi_client_workload, shifting_workload
     from repro.workload.experiments import phase_distributions
 
+    _require_epoch_engine("fleet-run", args.engine)
+    _check_gain_cache(args.engine, args.gain_cache)
     catalog = build_catalog()
     phases = phase_distributions()
     # One client per replica, each shifting through its own pair of
@@ -583,11 +736,15 @@ def _run_fleet(args) -> None:
         policy=args.policy,
         fleet_epoch_length=args.fleet_epoch,
         guardrails=GuardrailConfig() if args.guardrails == "on" else None,
+        engine=args.engine,
     )
     run = fleet.run(merged)
 
     print(f"workload: {merged.description}")
-    print(f"policy:   {run.policy} ({args.replicas} replicas)\n")
+    print(
+        f"policy:   {run.policy} ({args.replicas} replicas, "
+        f"engine {fleet.engine})\n"
+    )
     print(
         f"{'replica':>8} {'health':>9} {'queries':>8} {'|M|':>4} "
         f"{'quar':>4} {'exec cost':>14}"
@@ -653,6 +810,7 @@ def _fleet_status_document(directory) -> dict:
         replicas.append(
             {
                 "replica_id": entry["replica_id"],
+                "engine": entry.get("engine", "colt"),
                 "health": entry["health"],
                 "queries": entry["queries"],
                 "materialized": entry["materialized"],
@@ -695,13 +853,14 @@ def _run_fleet_status(args) -> None:
         f"{doc['queries_routed']} queries routed)"
     )
     print(
-        f"{'replica':>8} {'health':>9} {'queries':>8} {'|M|':>4} "
+        f"{'replica':>8} {'engine':>7} {'health':>9} {'queries':>8} {'|M|':>4} "
         f"{'quarantined':>24}  snapshot"
     )
     for entry in doc["replicas"]:
         quarantined = ",".join(entry["quarantined"]) or "-"
         print(
-            f"{entry['replica_id']:>8} {entry['health']:>9} "
+            f"{entry['replica_id']:>8} {entry['engine']:>7} "
+            f"{entry['health']:>9} "
             f"{entry['queries']:>8} {entry['materialized']:>4} "
             f"{quarantined:>24}  {entry['file']}: {entry['integrity']}"
         )

@@ -34,7 +34,13 @@ from repro.guardrails.advice import AdviceBook
 from repro.guardrails.manager import GuardrailConfig, GuardrailManager
 from repro.guardrails.rollout import RolloutController, RolloutSummary
 from repro.obs.export import build_snapshot
-from repro.obs.names import FLEET_METRICS, GUARDRAIL_METRICS
+from repro.obs.names import (
+    BANDIT_METRICS,
+    FLEET_METRICS,
+    GUARDRAIL_METRICS,
+    PROFILER_METRICS,
+    TUNER_METRICS,
+)
 from repro.obs.registry import MetricsRegistry, merge_snapshots
 from repro.obs.spans import SpanTracer, merge_span_summaries
 from repro.fleet.router import (
@@ -209,6 +215,10 @@ class FleetCoordinator:
             replica before fleet-wide promotion.
         advice: Optional DBA advice applied to every replica's
             guardrail manager (requires ``guardrails``).
+        engine: Tuning engine every replica runs -- ``"colt"``
+            (default) or ``"bandit"``; a ``ColtConfig`` is still what
+            parameterizes the fleet (bandit replicas derive a matched
+            :class:`~repro.bandit.config.BanditConfig` from it).
 
     Attributes:
         tracer: Span tracer timing fleet reorganizations.
@@ -229,6 +239,7 @@ class FleetCoordinator:
         registry: Optional[MetricsRegistry] = None,
         guardrails: Optional[GuardrailConfig] = None,
         advice: Optional[AdviceBook] = None,
+        engine: str = "colt",
     ) -> None:
         if n_replicas < 1:
             raise ValueError("n_replicas must be positive")
@@ -236,6 +247,11 @@ class FleetCoordinator:
             raise ValueError("fleet_epoch_length must be positive")
         if advice is not None and guardrails is None:
             raise ValueError("advice requires guardrails to be enabled")
+        if engine not in ("colt", "bandit"):
+            raise ValueError(
+                f"unknown fleet engine {engine!r} (expected 'colt' or 'bandit')"
+            )
+        self.engine = engine
         self.config = config or ColtConfig()
         self.fleet_epoch_length = fleet_epoch_length
         self.registry = registry if registry is not None else MetricsRegistry()
@@ -257,6 +273,7 @@ class FleetCoordinator:
                     fault_injector=injector,
                     registry=MetricsRegistry(enabled=self.registry.enabled),
                     guardrails=manager,
+                    engine=engine,
                 )
             )
         self.rollout: Optional[RolloutController] = None
@@ -293,6 +310,7 @@ class FleetCoordinator:
         ``rollout`` re-attaches a restored staged-rollout controller.
         """
         coordinator = cls.__new__(cls)
+        coordinator.engine = replicas[0].engine
         coordinator.config = replicas[0].tuner.config
         coordinator.fleet_epoch_length = fleet_epoch_length
         coordinator.replicas = list(replicas)
@@ -350,6 +368,12 @@ class FleetCoordinator:
         # registries and the samples merge under the replica label.
         for spec in GUARDRAIL_METRICS.values():
             spec.build(self.registry)
+        # Likewise for the engine-specific families (COLT's and the
+        # bandit's): a fleet may mix engines or run only one, but the
+        # export contract stays engine-agnostic either way.
+        for catalog in (TUNER_METRICS, PROFILER_METRICS, BANDIT_METRICS):
+            for spec in catalog.values():
+                spec.build(self.registry)
         self._sync_health()
 
     _HEALTH_VALUES = {

@@ -1,8 +1,10 @@
-"""One fleet member: a COLT tuner wrapped with identity and health.
+"""One fleet member: a tuning engine wrapped with identity and health.
 
-A :class:`TunerReplica` owns its catalog and
-:class:`~repro.core.colt.ColtTuner` (replicas must evolve independent
-materialized sets), carries a per-replica storage budget, and derives a
+A :class:`TunerReplica` owns its catalog and tuner -- a
+:class:`~repro.core.colt.ColtTuner` or, with ``engine="bandit"``, a
+:class:`~repro.bandit.tuner.BanditTuner` (replicas must evolve
+independent materialized sets), carries a per-replica storage budget,
+and derives a
 fleet-facing health state from the tuner's existing profiling circuit
 breaker (``repro.resilience``): a breaker that trips OPEN marks the
 replica DRAINED so the router stops sending it traffic, HALF_OPEN maps
@@ -85,6 +87,10 @@ class TunerReplica:
         guardrails: Optional per-replica guardrail manager forwarded to
             the tuner (verification, quarantine, rollout bans); ignored
             when ``tuner`` is pre-built.
+        engine: Tuning engine to construct -- ``"colt"`` (default) or
+            ``"bandit"`` (a :class:`~repro.bandit.tuner.BanditTuner`
+            with a :meth:`~repro.bandit.config.BanditConfig.from_colt`
+            configuration); ignored when ``tuner`` is pre-built.
     """
 
     def __init__(
@@ -97,18 +103,39 @@ class TunerReplica:
         tuner: Optional[ColtTuner] = None,
         registry: Optional[MetricsRegistry] = None,
         guardrails=None,
+        engine: str = "colt",
     ) -> None:
         self.replica_id = replica_id
         self.catalog = catalog
         if tuner is None:
-            tuner = ColtTuner(
-                catalog,
-                config,
-                breaker=breaker,
-                fault_injector=fault_injector,
-                registry=registry,
-                guardrails=guardrails,
-            )
+            if engine == "bandit":
+                # Deferred import keeps the fleet importable without
+                # pulling the bandit stack for pure-COLT deployments.
+                from repro.bandit.config import BanditConfig
+                from repro.bandit.tuner import BanditTuner
+
+                tuner = BanditTuner(
+                    catalog,
+                    BanditConfig.from_colt(config or ColtConfig()),
+                    breaker=breaker,
+                    fault_injector=fault_injector,
+                    registry=registry,
+                    guardrails=guardrails,
+                )
+            elif engine == "colt":
+                tuner = ColtTuner(
+                    catalog,
+                    config,
+                    breaker=breaker,
+                    fault_injector=fault_injector,
+                    registry=registry,
+                    guardrails=guardrails,
+                )
+            else:
+                raise ValueError(
+                    f"unknown replica engine {engine!r} "
+                    "(expected 'colt' or 'bandit')"
+                )
         self.tuner = tuner
         self.stats = ReplicaStats()
         self.config_version = 0
@@ -118,6 +145,13 @@ class TunerReplica:
         self._epoch_whatif = 0
 
     # ------------------------------------------------------------------
+    @property
+    def engine(self) -> str:
+        """The tuning engine this replica runs (``"colt"``/``"bandit"``)."""
+        from repro.bandit.tuner import BanditTuner
+
+        return "bandit" if isinstance(self.tuner, BanditTuner) else "colt"
+
     @property
     def health(self) -> ReplicaHealth:
         """Current health, read off the profiling circuit breaker."""

@@ -30,9 +30,9 @@ from repro.persist import (
     SnapshotError,
     checksum,
     load_json,
-    restore_tuner,
+    restore_any,
     save_json,
-    snapshot_tuner,
+    snapshot_any,
 )
 
 FLEET_SNAPSHOT_VERSION = 1
@@ -59,7 +59,7 @@ def snapshot_fleet(
     """
     if replica_snapshots is None:
         replica_snapshots = [
-            snapshot_tuner(r.tuner) for r in coordinator.replicas
+            snapshot_any(r.tuner) for r in coordinator.replicas
         ]
     entries = []
     for replica, snap in zip(coordinator.replicas, replica_snapshots):
@@ -68,6 +68,7 @@ def snapshot_fleet(
                 "replica_id": replica.replica_id,
                 "file": _replica_file(replica.replica_id),
                 "checksum": checksum(snap),
+                "engine": snap.get("engine", "colt"),
                 "health": replica.health.value,
                 "queries": replica.stats.queries,
                 "materialized": len(replica.materialized_names),
@@ -102,7 +103,7 @@ def save_fleet(
     """
     root = pathlib.Path(directory)
     root.mkdir(parents=True, exist_ok=True)
-    snapshots = [snapshot_tuner(r.tuner) for r in coordinator.replicas]
+    snapshots = [snapshot_any(r.tuner) for r in coordinator.replicas]
     for replica, snap in zip(coordinator.replicas, snapshots):
         save_json(root / _replica_file(replica.replica_id), snap)
     manifest = snapshot_fleet(coordinator, replica_snapshots=snapshots)
@@ -171,7 +172,9 @@ def restore_fleet(
                 "replica snapshot and manifest were not written together"
             )
         catalog: Catalog = catalog_factory()
-        tuner = restore_tuner(catalog, snap)
+        # Each replica file carries its own engine tag, so a fleet mixing
+        # COLT and bandit replicas round-trips without coordination.
+        tuner = restore_any(catalog, snap)
         replicas.append(
             TunerReplica(int(entry["replica_id"]), catalog, tuner=tuner)
         )

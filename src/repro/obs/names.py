@@ -163,6 +163,22 @@ FLEET_METRICS = _catalog(
     MetricSpec("fleet_active_canaries", "gauge", "Rollouts currently in the canary stage."),
 )
 
+#: Families emitted by :class:`~repro.bandit.tuner.BanditTuner`.
+BANDIT_METRICS = _catalog(
+    MetricSpec("bandit_queries_total", "counter", "Queries processed by the bandit tuner."),
+    MetricSpec("bandit_query_failures_total", "counter", "Queries recorded as failed in skip mode."),
+    MetricSpec("bandit_epochs_total", "counter", "Bandit decision rounds closed."),
+    MetricSpec("bandit_reward_samples_total", "counter", "Reward observations folded into the linear model."),
+    MetricSpec("bandit_observe_probes_total", "counter", "Counterfactual reward probes issued (one optimizer call each)."),
+    MetricSpec("bandit_observe_overhead_cost_total", "counter", "Cost units charged for reward probes and shadow executions."),
+    MetricSpec("bandit_safety_fallbacks_total", "counter", "Configuration changes reverted by the safety fallback."),
+    MetricSpec("bandit_forced_exploration_epochs_total", "counter", "Decision rounds selected without build-cost hysteresis."),
+    MetricSpec("bandit_arms", "gauge", "Arms in the pool at the latest decision round."),
+    MetricSpec("bandit_materialized_indexes", "gauge", "Current size of the bandit's materialized set."),
+    MetricSpec("bandit_confidence_width", "histogram", "Confidence width of arms scored at decision rounds.", buckets=COST_BUCKETS),
+    MetricSpec("bandit_reward", "histogram", "Per-query reward (observed cost savings) per model update.", buckets=COST_BUCKETS),
+)
+
 #: Families emitted by :class:`~repro.guardrails.manager.GuardrailManager`.
 GUARDRAIL_METRICS = _catalog(
     MetricSpec("guardrail_verifications_total", "counter", "Verification observations recorded against materialized indexes."),
@@ -194,5 +210,6 @@ CATALOG: Dict[str, MetricSpec] = {
     **SCHEDULER_METRICS,
     **RESILIENCE_METRICS,
     **FLEET_METRICS,
+    **BANDIT_METRICS,
     **GUARDRAIL_METRICS,
 }

@@ -182,6 +182,59 @@ def _restore_tuner(
     return tuner
 
 
+def snapshot_any(tuner) -> Dict:
+    """Serialize any supported tuner, tagging the snapshot's engine.
+
+    COLT snapshots stay byte-identical to :func:`snapshot_tuner` output
+    (no ``"engine"`` key -- old snapshots keep restoring); bandit
+    snapshots carry ``"engine": "bandit"`` for dispatch on load.
+
+    Raises:
+        SnapshotError: for a tuner type no serializer knows.
+    """
+    if isinstance(tuner, ColtTuner):
+        return snapshot_tuner(tuner)
+    # Deferred import: repro.bandit imports repro.persist helpers.
+    from repro.bandit.persist import snapshot_bandit_tuner
+    from repro.bandit.tuner import BanditTuner
+
+    if isinstance(tuner, BanditTuner):
+        return snapshot_bandit_tuner(tuner)
+    raise SnapshotError(
+        f"no snapshot serializer for tuner type {type(tuner).__name__}"
+    )
+
+
+def restore_any(
+    catalog: Catalog,
+    snapshot: Dict,
+    store: Optional[PhysicalStore] = None,
+    observer: Optional[CostObserver] = None,
+):
+    """Restore whichever tuner engine wrote the snapshot.
+
+    Dispatches on the snapshot's ``"engine"`` key: absent or ``"colt"``
+    restores a :class:`~repro.core.colt.ColtTuner`, ``"bandit"``
+    restores a :class:`~repro.bandit.tuner.BanditTuner`.
+
+    Raises:
+        SnapshotError: for an unknown engine tag or any malformed
+            snapshot (same guarantees as the per-engine restorers).
+    """
+    if not isinstance(snapshot, dict):
+        raise SnapshotError(f"snapshot must be a dict, got {type(snapshot).__name__}")
+    engine = snapshot.get("engine", "colt")
+    if engine == "colt":
+        return restore_tuner(catalog, snapshot, store=store, observer=observer)
+    if engine == "bandit":
+        from repro.bandit.persist import restore_bandit_tuner
+
+        return restore_bandit_tuner(
+            catalog, snapshot, store=store, observer=observer
+        )
+    raise SnapshotError(f"unknown snapshot engine {engine!r}")
+
+
 def checksum(snapshot: Dict) -> str:
     """SHA-256 over the snapshot's canonical JSON encoding."""
     canonical = json.dumps(snapshot, sort_keys=True, separators=(",", ":"))

@@ -16,7 +16,14 @@ package reconstructs all of it:
 """
 
 from repro.workload.adversarial import (
+    SCENARIOS,
+    Scenario,
+    ScenarioEvent,
+    build_adhoc_scenario,
     build_adversarial_store,
+    build_correlated_scenario,
+    build_drift_scenario,
+    build_htap_scenario,
     misleading_workload,
 )
 from repro.workload.datagen import build_catalog, build_physical
@@ -33,8 +40,15 @@ __all__ = [
     "PredicateSpec",
     "QueryDistribution",
     "QueryTemplate",
+    "SCENARIOS",
+    "Scenario",
+    "ScenarioEvent",
     "TPCH_INSTANCES",
+    "build_adhoc_scenario",
     "build_adversarial_store",
+    "build_correlated_scenario",
+    "build_drift_scenario",
+    "build_htap_scenario",
     "build_catalog",
     "build_physical",
     "misleading_workload",

@@ -14,6 +14,7 @@ from repro.core import ColtConfig, ColtTuner
 from repro.fleet.coordinator import FleetCoordinator
 from repro.obs.export import to_prometheus_text
 from repro.obs.names import (
+    BANDIT_METRICS,
     CATALOG,
     FLEET_METRICS,
     GAINCACHE_METRICS,
@@ -41,6 +42,7 @@ class TestCatalogShape:
             **SCHEDULER_METRICS,
             **RESILIENCE_METRICS,
             **FLEET_METRICS,
+            **BANDIT_METRICS,
             **GUARDRAIL_METRICS,
         }
         assert CATALOG == union
@@ -88,6 +90,44 @@ class TestLiveRegistration:
             | set(RESILIENCE_METRICS)
         )
         assert expected <= names
+
+    def test_bandit_tuner_registers_every_bandit_family(self, small_catalog):
+        from repro.bandit import BanditConfig, BanditTuner
+
+        tuner = BanditTuner(
+            small_catalog,
+            BanditConfig(epoch_length=5, storage_budget_pages=6000.0),
+        )
+        rng = random.Random(3)
+        for _ in range(25):
+            tuner.process_query(eq_query(rng.randint(1, 10_000)))
+        names = set(tuner.metrics.names())
+        # The bandit registers its own families plus the shared component
+        # catalogs its shim keeps alive (breaker, disabled gain cache,
+        # scheduler) -- dashboards keyed on those stay populated when a
+        # deployment swaps engines.
+        expected = (
+            set(BANDIT_METRICS)
+            | set(GAINCACHE_METRICS)
+            | set(SCHEDULER_METRICS)
+            | set(RESILIENCE_METRICS)
+        )
+        assert expected <= names
+
+    def test_bandit_fleet_snapshot_covers_full_catalog(self):
+        fleet = FleetCoordinator(
+            build_small_catalog,
+            n_replicas=2,
+            config=ColtConfig(storage_budget_pages=6000.0),
+            policy="round-robin",
+            fleet_epoch_length=10,
+            engine="bandit",
+        )
+        fleet.run([eq_query(i + 1) for i in range(25)])
+        snapshot = fleet.metrics_snapshot()
+        types = _type_lines(to_prometheus_text(snapshot["metrics"]))
+        missing = set(CATALOG) - set(types)
+        assert not missing
 
     def test_fleet_snapshot_covers_full_catalog(self):
         fleet = FleetCoordinator(

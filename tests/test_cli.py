@@ -167,7 +167,7 @@ class TestFleetCommands:
     def test_fleet_run_reports_per_replica_table(self, capsys):
         assert main(self.FAST) == 0
         out = capsys.readouterr().out
-        assert "policy:   affinity (2 replicas)" in out
+        assert "policy:   affinity (2 replicas, engine colt)" in out
         assert "fleet execution cost" in out
         assert "config divergence" in out
 
