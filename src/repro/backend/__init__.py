@@ -1,0 +1,41 @@
+"""Pluggable DBMS backends behind the what-if interface.
+
+See :mod:`repro.backend.base` for the protocol and ``docs/BACKENDS.md``
+for the workflow.  ``PostgresHypoBackend`` lives in
+:mod:`repro.backend.hypopg`; constructing it without an injected
+connection requires a PostgreSQL driver, but importing it does not.
+"""
+
+from repro.backend.base import (
+    Backend,
+    BackendCapabilities,
+    BackendCapabilityError,
+    BackendError,
+    BackendUnavailableError,
+    TraceMissError,
+    WhatIfSession,
+)
+from repro.backend.local import LocalBackend
+from repro.backend.trace import (
+    CostTrace,
+    CostTraceRecorder,
+    ReplayPlan,
+    TraceBackend,
+    trace_key,
+)
+
+__all__ = [
+    "Backend",
+    "BackendCapabilities",
+    "BackendCapabilityError",
+    "BackendError",
+    "BackendUnavailableError",
+    "CostTrace",
+    "CostTraceRecorder",
+    "LocalBackend",
+    "ReplayPlan",
+    "TraceBackend",
+    "TraceMissError",
+    "WhatIfSession",
+    "trace_key",
+]

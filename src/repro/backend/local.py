@@ -1,0 +1,108 @@
+"""The in-python engine as a backend (the default).
+
+``LocalBackend`` wraps the cost-based :class:`~repro.optimizer.optimizer.
+Optimizer` unchanged: every ``optimize`` call is exactly the pre-protocol
+``Optimizer.optimize(query, config, cache)`` call, so the golden-trace
+pin holds bit-identically through the protocol.  Because the local
+optimizer prices arbitrary configurations symbolically, hypothetical
+indexes need no server-side state -- ``simulate_index`` just folds the
+index into :meth:`current_config`.
+
+The backend doubles as the trace *recorder*: pass a
+:class:`~repro.backend.trace.CostTraceRecorder` and every priced
+(query, relevant-config) pair is logged, producing the trace a
+:class:`~repro.backend.trace.TraceBackend` replays deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.backend.base import (
+    Backend,
+    BackendCapabilities,
+    WhatIfSession,
+)
+from repro.engine.catalog import Catalog
+from repro.engine.index import IndexDef
+from repro.optimizer.access import IndexConfig
+from repro.optimizer.optimizer import (
+    OptimizationResult,
+    Optimizer,
+    PlanCache,
+)
+from repro.sql.ast import Query
+
+__all__ = ["LocalBackend"]
+
+
+class LocalBackend(Backend):
+    """Backend over the reproduction's own optimizer and catalog.
+
+    Args:
+        catalog: Catalog to build a fresh :class:`Optimizer` over.
+        optimizer: An existing optimizer to wrap instead (mutually
+            exclusive source of truth with ``catalog``; the optimizer's
+            catalog wins).
+        recorder: Optional trace recorder; when set, every priced
+            (query, config) pair is recorded for later replay.
+    """
+
+    capabilities = BackendCapabilities(
+        name="local",
+        reverse_whatif=True,
+        plan_cache_reuse=True,
+        hypothetical_indexes=True,
+        produces_plans=True,
+    )
+
+    def __init__(
+        self,
+        catalog: Optional[Catalog] = None,
+        optimizer: Optional[Optimizer] = None,
+        recorder=None,
+    ) -> None:
+        if optimizer is None:
+            if catalog is None:
+                raise ValueError("LocalBackend needs a catalog or an optimizer")
+            optimizer = Optimizer(catalog)
+        self.optimizer = optimizer
+        self.recorder = recorder
+        self._simulated: Dict[IndexDef, None] = {}
+
+    @property
+    def catalog(self) -> Catalog:
+        return self.optimizer.catalog
+
+    def current_config(self) -> IndexConfig:
+        config = self.optimizer.current_config()
+        if self._simulated:
+            config = config | frozenset(self._simulated)
+        return config
+
+    def optimize(
+        self,
+        query: Query,
+        config: Optional[IndexConfig] = None,
+        session: Optional[WhatIfSession] = None,
+        cache: Optional[PlanCache] = None,
+    ) -> OptimizationResult:
+        if session is not None:
+            cache = session.cache
+        if config is None:
+            config = self.current_config()
+        result = self.optimizer.optimize(query, config=config, cache=cache)
+        self._count_call()
+        if self.recorder is not None:
+            self.recorder.record(query, config, result)
+        return result
+
+    # -- hypothetical indexes ------------------------------------------
+    def simulate_index(self, index: IndexDef) -> None:
+        self._simulated[index] = None
+
+    def drop_simulated_index(self, index: IndexDef) -> None:
+        self._simulated.pop(index, None)
+
+    def simulated_indexes(self) -> IndexConfig:
+        return frozenset(self._simulated)

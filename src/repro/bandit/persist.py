@@ -108,9 +108,12 @@ def restore_bandit_tuner(
         raise SnapshotError(
             f"unsupported snapshot version {snapshot.get('version')!r}"
         )
-    if snapshot.get("engine") != ENGINE:
+    if snapshot.get("engine", "colt") != ENGINE:
         raise SnapshotError(
-            f"not a bandit snapshot (engine={snapshot.get('engine')!r})"
+            "engine mismatch: snapshot was written by the "
+            f"{snapshot.get('engine', 'colt')!r} engine, but a 'bandit' "
+            "tuner was requested (use restore_any, or restore with the "
+            "matching --engine)"
         )
     try:
         return _restore(catalog, snapshot, store, observer)

@@ -59,7 +59,8 @@ from repro.obs.export import build_snapshot
 from repro.obs.names import BANDIT_METRICS, RESILIENCE_METRICS
 from repro.obs.registry import MetricsRegistry
 from repro.obs.spans import SpanTracer
-from repro.optimizer.optimizer import Optimizer
+from repro.backend.base import Backend
+from repro.backend.local import LocalBackend
 from repro.optimizer.whatif import WhatIfOptimizer
 from repro.resilience.breaker import CircuitBreaker
 from repro.resilience.faults import FaultInjector
@@ -168,14 +169,19 @@ class BanditTuner:
         fault_injector: Optional[FaultInjector] = None,
         registry: Optional[MetricsRegistry] = None,
         guardrails: Optional["GuardrailManager"] = None,
+        backend: Optional[Backend] = None,
     ) -> None:
         self.catalog = catalog
         self.config = config or BanditConfig()
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = SpanTracer(enabled=self.registry.enabled)
         self.dashboard = OverheadDashboard()
-        self.optimizer = Optimizer(catalog)
-        self.whatif = WhatIfOptimizer(self.optimizer)
+        self.backend = backend if backend is not None else LocalBackend(catalog)
+        if self.backend.catalog is not catalog:
+            raise ValueError("backend and tuner must share one catalog")
+        self.backend.bind_registry(self.registry)
+        self.optimizer = getattr(self.backend, "optimizer", None)
+        self.whatif = WhatIfOptimizer(backend=self.backend)
         self.profiler = BanditProfile(
             catalog, self.whatif, self.config, breaker=breaker, registry=self.registry
         )
@@ -335,7 +341,7 @@ class BanditTuner:
             n = self._store.apply_inserts(table, rows)
         else:
             n = len(list(rows)) if rows is not None else int(count)
-            self.catalog.table(table).row_count += n
+            self.catalog.apply_row_delta(table, n)
         self.profiler.gain_cache.invalidate_table(table)
         self.features.note_insert(table, n)
 
@@ -439,8 +445,8 @@ class BanditTuner:
             try:
                 if self.whatif.failpoint is not None:
                     self.whatif.failpoint(index)
-                without = self.optimizer.optimize(
-                    session.query, config=without_config, cache=session.cache
+                without = self.backend.optimize(
+                    session.query, config=without_config, session=session
                 )
             except Exception:
                 self.profiler.breaker.record_failure()

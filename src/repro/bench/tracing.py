@@ -133,9 +133,16 @@ def trace_run(
     catalog: Catalog,
     workload: Sequence[Query],
     config: Optional[ColtConfig] = None,
+    backend=None,
 ) -> TunerTrace:
-    """Run COLT over a workload, recording one trace entry per epoch."""
-    tuner = ColtTuner(catalog, config)
+    """Run COLT over a workload, recording one trace entry per epoch.
+
+    Args:
+        backend: Optional DBMS backend for the tuner (defaults to the
+            local in-python engine) -- what lets the parity gate replay
+            a recorded cost trace through the identical harness.
+    """
+    tuner = ColtTuner(catalog, config, backend=backend)
     epochs: List[EpochTrace] = []
     exec_acc = 0.0
     total_acc = 0.0

@@ -42,6 +42,7 @@ from repro.bench.figures import (
     figure6_noise,
     table1_dataset,
 )
+from repro.backend.base import BackendError
 from repro.persist import SnapshotError
 from repro.sql.binder import BindError
 from repro.sql.lexer import LexError
@@ -175,6 +176,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="validate a tuner snapshot file against the paper catalog",
     )
     ps.add_argument("path", help="path to a snapshot written by save_json")
+    ps.add_argument(
+        "--engine",
+        choices=("colt", "bandit"),
+        default=None,
+        help="assert the snapshot was written by this engine "
+        "(mismatch fails with the snapshot exit code)",
+    )
 
     pr = sub.add_parser(
         "run",
@@ -212,6 +220,32 @@ def build_parser() -> argparse.ArgumentParser:
         "docs/PERFORMANCE.md)",
     )
     _add_engine_flag(pr, "all four engines")
+    pr.add_argument(
+        "--backend",
+        choices=("local", "trace", "hypopg"),
+        default="local",
+        help="DBMS backend answering what-if probes (colt/bandit only; "
+        "see docs/BACKENDS.md)",
+    )
+    pr.add_argument(
+        "--record-trace",
+        default=None,
+        metavar="PATH",
+        help="record every pricing request to a cost-trace file "
+        "(requires --backend local)",
+    )
+    pr.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="cost-trace file to replay (requires --backend trace)",
+    )
+    pr.add_argument(
+        "--dsn",
+        default=None,
+        metavar="DSN",
+        help="PostgreSQL connection string (requires --backend hypopg)",
+    )
 
     pm = sub.add_parser(
         "metrics",
@@ -397,6 +431,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except SnapshotError as exc:
         print(f"snapshot error: {exc}", file=sys.stderr)
         return EXIT_SNAPSHOT
+    except BackendError as exc:
+        print(f"backend error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
     except (ValueError, KeyError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_ERROR
@@ -533,7 +570,9 @@ def _run_check_snapshot(args) -> None:
     from repro.workload import build_catalog
 
     snapshot = load_json(args.path)
-    tuner = restore_any(build_catalog(), snapshot)
+    tuner = restore_any(
+        build_catalog(), snapshot, engine=getattr(args, "engine", None)
+    )
     engine = snapshot.get("engine", "colt")
     print(f"{args.path}: OK (version {snapshot['version']}, engine {engine})")
     print(f"  materialized: {len(tuner.materialized_set)} indexes")
@@ -547,6 +586,7 @@ def _run_run(args) -> None:
     from repro.workload.experiments import phase_distributions, stable_distribution
 
     _check_gain_cache(args.engine, args.gain_cache)
+    _check_backend_flags(args)
     catalog = build_catalog()
     if args.workload == "stable":
         workload = stable_workload(
@@ -580,32 +620,85 @@ def _run_run(args) -> None:
     else:
         print("what-if overhead dashboard (requested / granted / spent):")
     print(tuner.dashboard.render())
+    recorder = getattr(tuner.backend, "recorder", None)
+    if recorder is not None and getattr(args, "record_trace", None):
+        recorder.trace.meta.update(
+            workload=args.workload, seed=args.seed, engine=args.engine
+        )
+        recorder.trace.save(args.record_trace)
+        print(
+            f"\ncost trace recorded: {args.record_trace} "
+            f"({len(recorder.trace)} entries)"
+        )
     if args.metrics_out:
         fmt = write_metrics(args.metrics_out, tuner.metrics_snapshot())
         print(f"\nmetrics snapshot written: {args.metrics_out} ({fmt})")
+
+
+def _check_backend_flags(args) -> None:
+    """Reject inconsistent ``--backend``/``--trace``/``--dsn`` combos."""
+    backend = getattr(args, "backend", "local")
+    if backend != "local" and args.engine not in ("colt", "bandit"):
+        raise ValueError(
+            f"--backend {backend} requires an on-line engine "
+            "(colt or bandit); baselines always price locally"
+        )
+    if getattr(args, "record_trace", None) and backend != "local":
+        raise ValueError("--record-trace requires --backend local")
+    if getattr(args, "trace", None) and backend != "trace":
+        raise ValueError("--trace is only meaningful with --backend trace")
+    if backend == "trace" and not getattr(args, "trace", None):
+        raise ValueError("--backend trace requires --trace PATH")
+    if getattr(args, "dsn", None) and backend != "hypopg":
+        raise ValueError("--dsn is only meaningful with --backend hypopg")
+
+
+def _build_backend(args, catalog):
+    """The DBMS backend selected by ``--backend``, over ``catalog``."""
+    backend = getattr(args, "backend", "local")
+    if backend == "local":
+        recorder = None
+        if getattr(args, "record_trace", None):
+            from repro.backend.trace import CostTraceRecorder
+
+            recorder = CostTraceRecorder()
+        from repro.backend.local import LocalBackend
+
+        return LocalBackend(catalog, recorder=recorder)
+    if backend == "trace":
+        from repro.backend.trace import CostTrace, TraceBackend
+
+        return TraceBackend(catalog, CostTrace.load(args.trace))
+    from repro.backend.hypopg import PostgresHypoBackend
+
+    return PostgresHypoBackend(dsn=getattr(args, "dsn", None), catalog=catalog)
 
 
 def _build_engine_tuner(args):
     """A colt or bandit tuner over the paper catalog, from CLI args."""
     from repro.workload import build_catalog
 
+    catalog = build_catalog()
+    backend = _build_backend(args, catalog)
     if args.engine == "bandit":
         from repro.bandit import BanditConfig, BanditTuner
 
         return BanditTuner(
-            build_catalog(),
+            catalog,
             BanditConfig(storage_budget_pages=args.budget, seed=args.seed),
+            backend=backend,
         )
     from repro.core.colt import ColtTuner
     from repro.core.config import ColtConfig
 
     return ColtTuner(
-        build_catalog(),
+        catalog,
         ColtConfig(
             storage_budget_pages=args.budget,
             seed=args.seed,
             gain_cache=args.gain_cache == "on",
         ),
+        backend=backend,
     )
 
 

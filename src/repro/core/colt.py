@@ -26,7 +26,8 @@ from repro.obs.export import build_snapshot
 from repro.obs.names import TUNER_METRICS
 from repro.obs.registry import MetricsRegistry
 from repro.obs.spans import SpanTracer
-from repro.optimizer.optimizer import Optimizer
+from repro.backend.base import Backend
+from repro.backend.local import LocalBackend
 from repro.optimizer.plan import PlanNode
 from repro.optimizer.whatif import WhatIfOptimizer
 from repro.resilience.breaker import CircuitBreaker
@@ -112,6 +113,9 @@ class ColtTuner:
         catalog: The catalog to tune.  Its materialized set is owned by
             the tuner from now on.
         config: Tuning parameters (defaults follow the paper).
+        backend: DBMS backend answering what-if probes; defaults to a
+            :class:`~repro.backend.local.LocalBackend` over ``catalog``
+            (the in-python engine).  Must describe the same catalog.
         store: Optional physical store; when given, materializations
             build real B+trees so queries can be executed.
         policy: Materialization scheduling policy.
@@ -147,14 +151,19 @@ class ColtTuner:
         fault_injector: Optional[FaultInjector] = None,
         registry: Optional[MetricsRegistry] = None,
         guardrails: Optional["GuardrailManager"] = None,
+        backend: Optional[Backend] = None,
     ) -> None:
         self.catalog = catalog
         self.config = config or ColtConfig()
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = SpanTracer(enabled=self.registry.enabled)
         self.dashboard = OverheadDashboard()
-        self.optimizer = Optimizer(catalog)
-        self.whatif = WhatIfOptimizer(self.optimizer)
+        self.backend = backend if backend is not None else LocalBackend(catalog)
+        if self.backend.catalog is not catalog:
+            raise ValueError("backend and tuner must share one catalog")
+        self.backend.bind_registry(self.registry)
+        self.optimizer = getattr(self.backend, "optimizer", None)
+        self.whatif = WhatIfOptimizer(backend=self.backend)
         self.profiler = Profiler(
             catalog, self.whatif, self.config, breaker=breaker, registry=self.registry
         )
@@ -327,7 +336,7 @@ class ColtTuner:
             n = self._store.apply_inserts(table, rows)
         else:
             n = len(list(rows)) if rows is not None else int(count)
-            self.catalog.table(table).row_count += n
+            self.catalog.apply_row_delta(table, n)
         # The write changes costs on this table; cached what-if gains
         # recorded under the old statistics would no longer validate
         # anyway (stats-token mismatch), but dropping them eagerly

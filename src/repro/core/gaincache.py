@@ -43,9 +43,14 @@ Invalidation (a stale gain would silently corrupt ``NetBenefit``):
   relevant-config signature is recomputed per query, so a changed
   configuration can never alias a stored key.
 * **stats refresh** -- entries carry per-table ``(row_count,
-  stats_version)`` tokens, validated on every hit;
-  :meth:`~repro.engine.catalog.Catalog.set_stats` bumps the version and
-  ``process_insert`` invalidates the written table eagerly.
+  stats_version)`` tokens, validated on every hit.  Every
+  stats-affecting catalog mutation bumps the version
+  (:meth:`~repro.engine.catalog.Catalog.set_stats`,
+  :meth:`~repro.engine.catalog.Catalog.apply_row_delta`,
+  :meth:`~repro.engine.catalog.Catalog.set_row_count`), so even a
+  delete-then-insert that restores the original row count changes the
+  token; ``process_insert`` additionally invalidates the written table
+  eagerly.
 * **epoch reorganization** -- :meth:`GainCache.roll_epoch` ages entries
   out after ``ttl_epochs`` epochs without a hit.
 * **fleet rebalance** -- the coordinator clears each replica's cache
@@ -70,11 +75,12 @@ from repro.sql.ast import (
 # Composite-safe index identity: table plus ordered key columns.
 IndexKey = Tuple[str, Tuple[str, ...]]
 
-#: Per-table statistics token: (row_count, stats_version).  Both direct
-#: ``row_count`` mutation (cost-model inserts) and ``set_stats`` calls
-#: (ANALYZE) change the token, so entries recorded under old statistics
-#: can never validate.
-StatsToken = Tuple[float, int]
+#: Per-table statistics token: (row_count, stats_version) for the local
+#: backend, opaque for remote ones.  Every stats-affecting mutation --
+#: row-count deltas (cost-model inserts/deletes) and ``set_stats``
+#: (ANALYZE) -- bumps the version, so entries recorded under old
+#: statistics can never validate, even when the row count round-trips.
+StatsToken = Tuple
 
 
 def _index_key(index: IndexDef) -> IndexKey:
@@ -303,7 +309,18 @@ class GainCache:
         return self._whatif.relevant_signature(query)
 
     def stats_token(self, table: str) -> StatsToken:
-        """The catalog's current statistics token for a table."""
+        """The backend's current statistics token for a table.
+
+        Delegates to the what-if backend when it carries one (remote
+        backends own their statistics); otherwise combines the
+        catalog's row count with its monotone ``stats_version``, which
+        every stats-affecting mutation bumps (``set_stats``,
+        ``apply_row_delta``, ``set_row_count``) -- so a delete-then-
+        insert restoring the old row count still changes the token.
+        """
+        backend = getattr(self._whatif, "backend", None)
+        if backend is not None:
+            return backend.stats_token(table)
         tdef = self._catalog.table(table)
         return tdef.row_count, self._catalog.stats_version(table)
 

@@ -243,10 +243,19 @@ class Profiler:
             self._m_spent.inc()
             try:
                 probe = self._whatif.what_if_optimize(session, [index])
-            except WhatIfProbeError:
+            except WhatIfProbeError as exc:
                 self.probe_failures += 1
                 self._m_probe_failures.inc()
                 self.breaker.record_failure()
+                # Gains measured before the failing probe in the same
+                # batch were paid for and are exact -- consume them
+                # instead of discarding and re-probing.  (Single-index
+                # probes, the loop above, carry an empty dict.)
+                for ix, gain in exc.partial_gains.items():
+                    gains[ix] = gain
+                    self._record_gain(ix, cluster, gain)
+                    if cache_ctx is not None:
+                        cache_ctx.store(ix, gain)
                 continue
             self.breaker.record_success()
             for ix, gain in probe.items():

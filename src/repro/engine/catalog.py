@@ -163,14 +163,58 @@ class Catalog:
         return default_stats_for(tdef.column(column).dtype, tdef.row_count)
 
     def stats_version(self, table: str) -> int:
-        """Monotone counter bumped on every ``set_stats`` for a table.
+        """Monotone counter bumped on every stats-affecting mutation.
 
         Together with ``row_count`` this forms the staleness token the
         gain cache validates on lookup: any statistics refresh changes
         the token, so cached what-if gains recorded under old
-        statistics can never be replayed.
+        statistics can never be replayed.  ``set_stats`` (ANALYZE),
+        :meth:`apply_row_delta` and :meth:`set_row_count` all bump it --
+        the version alone distinguishes a delete-then-insert that
+        restores the original row count, which ``row_count`` cannot.
         """
         return self._stats_versions.get(table, 0)
+
+    def bump_stats_version(self, table: str) -> int:
+        """Mark a table's statistics as changed; returns the new version.
+
+        Raises:
+            KeyError: if the table does not exist.
+        """
+        self.table(table)
+        version = self._stats_versions.get(table, 0) + 1
+        self._stats_versions[table] = version
+        return version
+
+    def apply_row_delta(self, table: str, delta: float) -> float:
+        """Adjust a table's statistical row count by ``delta``.
+
+        Every caller that grows or shrinks a table must come through
+        here (not assign ``TableDef.row_count`` directly) so the stats
+        version is bumped alongside -- otherwise a delete-then-insert
+        restoring the original row count would leave the gain cache's
+        staleness token unchanged and stale gains could be replayed.
+
+        Returns:
+            The new row count.
+
+        Raises:
+            KeyError: if the table does not exist.
+        """
+        tdef = self.table(table)
+        tdef.row_count += delta
+        self.bump_stats_version(table)
+        return tdef.row_count
+
+    def set_row_count(self, table: str, row_count: float) -> None:
+        """Set a table's statistical row count, bumping the stats version.
+
+        Raises:
+            KeyError: if the table does not exist.
+        """
+        tdef = self.table(table)
+        tdef.row_count = float(row_count)
+        self.bump_stats_version(table)
 
     # ------------------------------------------------------------------
     # Indexes

@@ -200,7 +200,11 @@ class PhysicalStore:
                     key = heap.value(rid, index.column)
                 tree.insert(key, rid)
             count += 1
-        self.catalog.table(table).row_count += count
+        if count:
+            # Through the catalog so the stats version bumps with the
+            # row count: a delete-then-insert restoring the old count
+            # must still invalidate cached what-if gains.
+            self.catalog.apply_row_delta(table, count)
         return count
 
     def analyze(self, table: str, scale_to: Optional[float] = None) -> None:
@@ -213,10 +217,9 @@ class PhysicalStore:
                 sample -- the paper-scale statistics trick from DESIGN.md.
         """
         heap = self.heap(table)
-        tdef = self.catalog.table(table)
         physical = float(len(heap))
         logical = physical if scale_to is None else float(scale_to)
-        tdef.row_count = logical
+        self.catalog.set_row_count(table, logical)
         factor = 1.0 if physical == 0 else logical / physical
         for name in heap.column_names:
             from repro.engine.stats import ColumnStats

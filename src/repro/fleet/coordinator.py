@@ -219,6 +219,9 @@ class FleetCoordinator:
             (default) or ``"bandit"``; a ``ColtConfig`` is still what
             parameterizes the fleet (bandit replicas derive a matched
             :class:`~repro.bandit.config.BanditConfig` from it).
+        backend_factory: Optional callable ``catalog -> Backend``
+            giving each replica its DBMS backend (defaults to the local
+            in-python engine).
 
     Attributes:
         tracer: Span tracer timing fleet reorganizations.
@@ -240,6 +243,7 @@ class FleetCoordinator:
         guardrails: Optional[GuardrailConfig] = None,
         advice: Optional[AdviceBook] = None,
         engine: str = "colt",
+        backend_factory=None,
     ) -> None:
         if n_replicas < 1:
             raise ValueError("n_replicas must be positive")
@@ -274,6 +278,7 @@ class FleetCoordinator:
                     registry=MetricsRegistry(enabled=self.registry.enabled),
                     guardrails=manager,
                     engine=engine,
+                    backend_factory=backend_factory,
                 )
             )
         self.rollout: Optional[RolloutController] = None

@@ -91,6 +91,10 @@ class TunerReplica:
             ``"bandit"`` (a :class:`~repro.bandit.tuner.BanditTuner`
             with a :meth:`~repro.bandit.config.BanditConfig.from_colt`
             configuration); ignored when ``tuner`` is pre-built.
+        backend_factory: Optional callable ``catalog -> Backend``
+            building the replica tuner's DBMS backend (defaults to the
+            local in-python engine); ignored when ``tuner`` is
+            pre-built.
     """
 
     def __init__(
@@ -104,9 +108,11 @@ class TunerReplica:
         registry: Optional[MetricsRegistry] = None,
         guardrails=None,
         engine: str = "colt",
+        backend_factory=None,
     ) -> None:
         self.replica_id = replica_id
         self.catalog = catalog
+        backend = backend_factory(catalog) if backend_factory is not None else None
         if tuner is None:
             if engine == "bandit":
                 # Deferred import keeps the fleet importable without
@@ -121,6 +127,7 @@ class TunerReplica:
                     fault_injector=fault_injector,
                     registry=registry,
                     guardrails=guardrails,
+                    backend=backend,
                 )
             elif engine == "colt":
                 tuner = ColtTuner(
@@ -130,6 +137,7 @@ class TunerReplica:
                     fault_injector=fault_injector,
                     registry=registry,
                     guardrails=guardrails,
+                    backend=backend,
                 )
             else:
                 raise ValueError(
@@ -198,6 +206,9 @@ class TunerReplica:
         charges the probe against its per-epoch budget; this method only
         measures.
         """
+        backend = getattr(self.tuner, "backend", None)
+        if backend is not None:
+            return backend.get_cost(query)
         return self.tuner.optimizer.optimize(query).cost
 
     def idle_tick(self) -> None:

@@ -129,7 +129,7 @@ class GuardrailManager:
         self._preferred: List[Tuple[IndexDef, float]] = []
         self._rollout_bans: List[IndexDef] = []
         self._epoch_probes = 0
-        self._optimizer = None
+        self._backend = None
         self._catalog: Optional[Catalog] = None
         self._metrics: Optional[Dict] = None
 
@@ -141,7 +141,13 @@ class GuardrailManager:
         with a guardrail manager.
         """
         self._catalog = tuner.catalog
-        self._optimizer = tuner.optimizer
+        self._backend = getattr(tuner, "backend", None)
+        if self._backend is None and getattr(tuner, "optimizer", None) is not None:
+            # Legacy tuners expose only an optimizer; wrap it so the
+            # verification path below speaks one protocol.
+            from repro.backend.local import LocalBackend
+
+            self._backend = LocalBackend(optimizer=tuner.optimizer)
         self._pinned, self._banned, self._preferred = self.advice.resolve(
             tuner.catalog
         )
@@ -190,7 +196,11 @@ class GuardrailManager:
         Returns:
             (probe count, overhead cost charged) for this query.
         """
-        if self._optimizer is None:
+        if self._backend is None:
+            return 0, 0.0
+        if not self._backend.capabilities.reverse_whatif:
+            # Verification is a reverse what-if; on backends that cannot
+            # hide a materialized index (HypoPG) it degrades to a no-op.
             return 0, 0.0
         mat = frozenset(materialized)
         calls = 0
@@ -200,8 +210,8 @@ class GuardrailManager:
                 break
             if index not in mat or not self.verifier.needs_samples(index):
                 continue
-            without = self._optimizer.optimize(
-                session.query, config=mat - {index}, cache=session.cache
+            without = self._backend.optimize(
+                session.query, config=mat - {index}, session=session
             )
             observation = self.observer.observe(
                 session, without.plan, session.base.cost, without.cost

@@ -202,6 +202,21 @@ GUARDRAIL_METRICS = _catalog(
     ),
 )
 
+#: Families emitted by :class:`~repro.backend.base.Backend` adapters.
+BACKEND_METRICS = _catalog(
+    MetricSpec(
+        "backend_optimize_calls_total",
+        "counter",
+        "Pricing requests issued to the DBMS backend.",
+        labelnames=("backend",),
+    ),
+    MetricSpec(
+        "backend_trace_misses_total",
+        "counter",
+        "Trace-replay lookups that missed the recorded cost trace.",
+    ),
+)
+
 #: Every stable family, by name -- the contract the export must honour.
 CATALOG: Dict[str, MetricSpec] = {
     **TUNER_METRICS,
@@ -212,4 +227,5 @@ CATALOG: Dict[str, MetricSpec] = {
     **FLEET_METRICS,
     **BANDIT_METRICS,
     **GUARDRAIL_METRICS,
+    **BACKEND_METRICS,
 }

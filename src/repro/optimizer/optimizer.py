@@ -29,6 +29,32 @@ from repro.optimizer.plan import (
 from repro.sql.ast import Aggregate, Query
 
 
+def relevant_config(query: Query, config: IndexConfig) -> IndexConfig:
+    """Restrict a configuration to indexes that could affect the query.
+
+    An index is relevant if its table appears in the query and its
+    column is referenced by a filter or join predicate.  Plan identity
+    (and therefore cost) depends only on this restriction, which is both
+    the plan-cache key and the configuration signature the cross-query
+    gain cache validates against.
+
+    This is a pure function of the query text and the configuration --
+    no catalog access -- which is what lets backends without a local
+    optimizer (trace replay, remote servers) compute the same
+    signatures.
+    """
+    tables = set(query.tables)
+    referenced = {
+        (c.table, c.column)
+        for c in query.selection_columns() + query.join_columns()
+    }
+    return frozenset(
+        ix
+        for ix in config
+        if ix.table in tables and (ix.table, ix.column) in referenced
+    )
+
+
 @dataclasses.dataclass
 class OptimizationResult:
     """Outcome of one optimization.
@@ -136,22 +162,10 @@ class Optimizer:
     def relevant_config(self, query: Query, config: IndexConfig) -> IndexConfig:
         """Restrict a configuration to indexes that could affect the query.
 
-        An index is relevant if its table appears in the query and its
-        column is referenced by a filter or join predicate.  Plan
-        identity (and therefore cost) depends only on this restriction,
-        which is both the plan-cache key and the configuration
-        signature the cross-query gain cache validates against.
+        Delegates to the module-level pure function
+        :func:`relevant_config`; kept as a method for existing callers.
         """
-        tables = set(query.tables)
-        referenced = {
-            (c.table, c.column)
-            for c in query.selection_columns() + query.join_columns()
-        }
-        return frozenset(
-            ix
-            for ix in config
-            if ix.table in tables and (ix.table, ix.column) in referenced
-        )
+        return relevant_config(query, config)
 
     # Backwards-compatible private alias (pre-gain-cache callers).
     _relevant_config = relevant_config

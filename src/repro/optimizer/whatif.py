@@ -18,7 +18,11 @@ Note on sign convention: the paper's formula as printed reads
 text defines QueryGain as "the savings in execution time", so we use the
 orientation that makes gains positive for useful indexes.
 
-Each probed index costs one what-if call; the per-query
+Every probe is answered by a pluggable :class:`~repro.backend.base.
+Backend` -- the in-python engine by default
+(:class:`~repro.backend.local.LocalBackend`), a recorded-trace replayer,
+or a HypoPG adapter.  Each probed index costs one what-if call; on
+backends with ``plan_cache_reuse`` the per-query
 :class:`~repro.optimizer.optimizer.PlanCache` makes the incremental cost
 of each call small by reusing sub-plans from the initial optimization --
 the same engineering the paper's PostgreSQL prototype does.
@@ -26,38 +30,25 @@ the same engineering the paper's PostgreSQL prototype does.
 
 from __future__ import annotations
 
-import dataclasses
 from typing import Callable, Dict, Iterable, List, Optional
 
+from repro.backend.base import BackendError, WhatIfSession
+from repro.backend.local import LocalBackend
 from repro.engine.index import IndexDef
 from repro.optimizer.access import IndexConfig
-from repro.optimizer.optimizer import OptimizationResult, Optimizer, PlanCache
+from repro.optimizer.optimizer import Optimizer
 from repro.resilience.errors import WhatIfProbeError
 from repro.sql.ast import Query
 
 __all__ = ["WhatIfOptimizer", "WhatIfSession", "WhatIfProbeError"]
 
 
-@dataclasses.dataclass
-class WhatIfSession:
-    """State carried across the what-if calls for a single query.
-
-    Attributes:
-        query: The query being profiled.
-        base: The result of the query's normal optimization under the
-            current materialized set.
-        cache: Plan cache shared by all calls for this query.
-    """
-
-    query: Query
-    base: OptimizationResult
-    cache: PlanCache
-
-
 class WhatIfOptimizer:
-    """The paper's EQO: a standard optimizer plus a what-if interface.
+    """The paper's EQO: a cost oracle plus a what-if interface.
 
     Attributes:
+        backend: The :class:`~repro.backend.base.Backend` answering
+            probes.
         call_count: Total number of what-if calls issued (one per probed
             index), the quantity Figure 5 charts per epoch.
         failpoint: Optional hook invoked once per probe with the index
@@ -67,22 +58,32 @@ class WhatIfOptimizer:
             a timed-out what-if call costs time.
     """
 
-    def __init__(self, optimizer: Optimizer) -> None:
-        self._optimizer = optimizer
+    def __init__(
+        self,
+        optimizer: Optional[Optimizer] = None,
+        backend=None,
+    ) -> None:
+        if backend is None:
+            if optimizer is None:
+                raise ValueError(
+                    "WhatIfOptimizer needs an optimizer or a backend"
+                )
+            backend = LocalBackend(optimizer=optimizer)
+        elif optimizer is not None:
+            raise ValueError("pass either an optimizer or a backend, not both")
+        self.backend = backend
         self.call_count = 0
         self.probed_indexes: set = set()
         self.failpoint: Optional[Callable[[IndexDef], None]] = None
 
     @property
-    def optimizer(self) -> Optimizer:
-        """The underlying plain optimizer."""
-        return self._optimizer
+    def optimizer(self) -> Optional[Optimizer]:
+        """The underlying plain optimizer (``None`` for remote/replay)."""
+        return getattr(self.backend, "optimizer", None)
 
     def begin_query(self, query: Query) -> WhatIfSession:
         """Normally optimize ``query`` and open a what-if session for it."""
-        cache = PlanCache()
-        base = self._optimizer.optimize(query, cache=cache)
-        return WhatIfSession(query=query, base=base, cache=cache)
+        return self.backend.begin_query(query)
 
     def what_if_optimize(
         self,
@@ -96,7 +97,7 @@ class WhatIfOptimizer:
             session: Session from :meth:`begin_query` for this query.
             probation: Indexes to probe (the set ``P`` of Figure 2).
             materialized: The materialized set ``M``; defaults to the
-                catalog's current one.
+                backend's current configuration.
 
         Returns:
             Mapping from each probed index to its QueryGain (cost units;
@@ -105,44 +106,58 @@ class WhatIfOptimizer:
             tie-breaks).
 
         Raises:
-            WhatIfProbeError: when a probe fails (injected fault or an
-                optimizer error).  The failed call is already counted;
-                gains for indexes probed earlier in this invocation are
-                lost with it, so callers wanting per-index isolation
-                probe one index per call.
+            WhatIfProbeError: when a probe fails (injected fault, an
+                optimizer error, or a reverse probe on a backend without
+                ``reverse_whatif``).  The failed call is already
+                counted; gains measured earlier in this invocation ride
+                along on the exception's ``partial_gains`` so callers
+                can consume them instead of re-probing.
+            BackendError: when the backend itself is unusable for the
+                request (e.g. a trace miss during deterministic replay);
+                never absorbed as probe noise.
         """
         if materialized is None:
-            materialized = self._optimizer.current_config()
+            materialized = self.backend.current_config()
+        capabilities = self.backend.capabilities
         gains: Dict[IndexDef, float] = {}
         for index in probation:
             self.call_count += 1
             self.probed_indexes.add(index)
-            if self.failpoint is not None:
-                self.failpoint(index)
             try:
+                if self.failpoint is not None:
+                    self.failpoint(index)
                 if index in materialized:
                     # Reverse what-if: how much worse would the query be
                     # without this materialized index?
-                    without = self._optimizer.optimize(
+                    if not capabilities.reverse_whatif:
+                        raise WhatIfProbeError(
+                            f"backend {capabilities.name!r} cannot reverse "
+                            f"what-if materialized index {index}"
+                        )
+                    without_cost = self.backend.get_cost(
                         session.query,
                         config=materialized - {index},
-                        cache=session.cache,
+                        session=session,
                     )
                     with_cost = self._cost_under(session, materialized)
-                    gains[index] = without.cost - with_cost
+                    gains[index] = without_cost - with_cost
                 else:
-                    with_index = self._optimizer.optimize(
+                    with_cost = self.backend.get_cost(
                         session.query,
                         config=materialized | {index},
-                        cache=session.cache,
+                        session=session,
                     )
                     without_cost = self._cost_under(session, materialized)
-                    gains[index] = without_cost - with_index.cost
-            except WhatIfProbeError:
+                    gains[index] = without_cost - with_cost
+            except WhatIfProbeError as exc:
+                exc.partial_gains = dict(gains)
+                raise
+            except BackendError:
                 raise
             except Exception as exc:
                 raise WhatIfProbeError(
-                    f"what-if probe for {index} failed: {exc}"
+                    f"what-if probe for {index} failed: {exc}",
+                    partial_gains=gains,
                 ) from exc
         return gains
 
@@ -159,14 +174,14 @@ class WhatIfOptimizer:
         Args:
             query: A bound query.
             materialized: The set ``M`` to restrict; defaults to the
-                catalog's current materialized set.
+                backend's current configuration.
 
         Returns:
             Frozenset of ``(table, columns)`` identity keys.
         """
         if materialized is None:
-            materialized = self._optimizer.current_config()
-        relevant = self._optimizer.relevant_config(query, materialized)
+            materialized = self.backend.current_config()
+        relevant = self.backend.relevant_config(query, materialized)
         return frozenset((ix.table, ix.columns) for ix in relevant)
 
     def gains_for(
@@ -179,6 +194,4 @@ class WhatIfOptimizer:
     def _cost_under(self, session: WhatIfSession, config: IndexConfig) -> float:
         if config == session.base.config:
             return session.base.cost
-        return self._optimizer.optimize(
-            session.query, config=config, cache=session.cache
-        ).cost
+        return self.backend.get_cost(session.query, config=config, session=session)

@@ -123,15 +123,23 @@ def restore_tuner(
     observer (observers hold stores and never serialize).
 
     Raises:
-        SnapshotError: on version mismatch, references to tables or
-            columns absent from the catalog, or any structurally
-            malformed snapshot (missing keys, wrong value types).
+        SnapshotError: on version or engine-tag mismatch, references to
+            tables or columns absent from the catalog, or any
+            structurally malformed snapshot (missing keys, wrong value
+            types).
     """
     if not isinstance(snapshot, dict):
         raise SnapshotError(f"snapshot must be a dict, got {type(snapshot).__name__}")
     if snapshot.get("version") != SNAPSHOT_VERSION:
         raise SnapshotError(
             f"unsupported snapshot version {snapshot.get('version')!r}"
+        )
+    engine = snapshot.get("engine", "colt")
+    if engine != "colt":
+        raise SnapshotError(
+            f"engine mismatch: snapshot was written by the {engine!r} "
+            "engine, but a 'colt' tuner was requested (use restore_any, "
+            "or restore with the matching --engine)"
         )
     try:
         return _restore_tuner(catalog, snapshot, store, observer)
@@ -210,6 +218,7 @@ def restore_any(
     snapshot: Dict,
     store: Optional[PhysicalStore] = None,
     observer: Optional[CostObserver] = None,
+    engine: Optional[str] = None,
 ):
     """Restore whichever tuner engine wrote the snapshot.
 
@@ -217,22 +226,33 @@ def restore_any(
     restores a :class:`~repro.core.colt.ColtTuner`, ``"bandit"``
     restores a :class:`~repro.bandit.tuner.BanditTuner`.
 
+    Args:
+        engine: Expected engine tag (``"colt"`` or ``"bandit"``); when
+            given, a snapshot written by a different engine fails with
+            a clear error instead of restoring the wrong tuner type.
+
     Raises:
-        SnapshotError: for an unknown engine tag or any malformed
-            snapshot (same guarantees as the per-engine restorers).
+        SnapshotError: for an unknown engine tag, a tag that does not
+            match the requested ``engine``, or any malformed snapshot
+            (same guarantees as the per-engine restorers).
     """
     if not isinstance(snapshot, dict):
         raise SnapshotError(f"snapshot must be a dict, got {type(snapshot).__name__}")
-    engine = snapshot.get("engine", "colt")
-    if engine == "colt":
+    tagged = snapshot.get("engine", "colt")
+    if engine is not None and tagged != engine:
+        raise SnapshotError(
+            f"engine mismatch: snapshot was written by the {tagged!r} "
+            f"engine, but --engine {engine} was requested"
+        )
+    if tagged == "colt":
         return restore_tuner(catalog, snapshot, store=store, observer=observer)
-    if engine == "bandit":
+    if tagged == "bandit":
         from repro.bandit.persist import restore_bandit_tuner
 
         return restore_bandit_tuner(
             catalog, snapshot, store=store, observer=observer
         )
-    raise SnapshotError(f"unknown snapshot engine {engine!r}")
+    raise SnapshotError(f"unknown snapshot engine {tagged!r}")
 
 
 def checksum(snapshot: Dict) -> str:

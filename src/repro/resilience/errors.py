@@ -18,7 +18,18 @@ class WhatIfProbeError(RuntimeError):
     raised, or because a fault injector fired.  The probe's what-if call
     is still counted (and charged): a failed call costs wall-clock time
     in the system this simulates.
+
+    Attributes:
+        partial_gains: Gains measured for indexes probed *earlier in the
+            same batch*, before the failing probe.  Those measurements
+            were paid for and are exact, so the profiler consumes them
+            instead of silently discarding and re-probing.  Empty when
+            the first probe of a batch fails.
     """
+
+    def __init__(self, *args: object, partial_gains=None) -> None:
+        super().__init__(*args)
+        self.partial_gains: dict = dict(partial_gains) if partial_gains else {}
 
 
 class IndexBuildError(RuntimeError):

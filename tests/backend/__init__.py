@@ -1,0 +1,1 @@
+"""Backend-protocol conformance and differential tests."""

@@ -137,6 +137,30 @@ class TestEngineDispatch:
         with pytest.raises(SnapshotError, match="engine"):
             restore_any(build_small_catalog(), snap)
 
+    def test_restore_any_asserts_requested_engine(self, small_catalog):
+        bandit_snap = snapshot_any(_trained_bandit(small_catalog))
+        colt_snap = snapshot_any(ColtTuner(small_catalog, ColtConfig()))
+        with pytest.raises(SnapshotError, match="engine mismatch"):
+            restore_any(build_small_catalog(), bandit_snap, engine="colt")
+        with pytest.raises(SnapshotError, match="engine mismatch"):
+            restore_any(build_small_catalog(), colt_snap, engine="bandit")
+        # Matching assertions restore normally.
+        assert isinstance(
+            restore_any(build_small_catalog(), bandit_snap, engine="bandit"),
+            BanditTuner,
+        )
+        assert isinstance(
+            restore_any(build_small_catalog(), colt_snap, engine="colt"),
+            ColtTuner,
+        )
+
+    def test_colt_restore_rejects_bandit_snapshot(self, small_catalog):
+        from repro.persist import restore_tuner
+
+        snap = snapshot_any(_trained_bandit(small_catalog))
+        with pytest.raises(SnapshotError, match="engine mismatch"):
+            restore_tuner(build_small_catalog(), snap)
+
 
 class TestValidation:
     def test_colt_snapshot_rejected(self, small_catalog):

@@ -156,6 +156,56 @@ class TestExactKeyReplay:
         assert query_signature(q(1)) == query_signature(q(1))
 
 
+class TestTruncateRefill:
+    """Delete-then-insert restoring the row count must still invalidate.
+
+    ``row_count`` alone cannot distinguish a truncate-refill from "no
+    change"; the stats *version* component of the token can, provided
+    every mutation path bumps it.  These are the regression tests for
+    the version-bump sweep across Catalog mutators.
+    """
+
+    def test_refill_to_original_count_still_invalidates(
+        self, catalog, whatif, cache
+    ):
+        query = _query(catalog, ORDERS_SQL)
+        index = catalog.index_for("orders_1", "o_custkey")
+        session = whatif.begin_query(query)
+        gain = whatif.what_if_optimize(session, [index])[index]
+        ctx = cache.begin_query(query)
+        ctx.lookup(index)
+        ctx.store(index, gain)
+        assert cache.begin_query(query).lookup(index) == gain
+
+        before = catalog.table("orders_1").row_count
+        catalog.set_row_count("orders_1", 0.0)  # truncate
+        catalog.apply_row_delta("orders_1", before)  # refill
+        assert catalog.table("orders_1").row_count == before
+        assert cache.begin_query(query).lookup(index) is None
+
+    def test_every_mutator_bumps_the_version(self, catalog):
+        versions = [catalog.stats_version("orders_1")]
+        catalog.apply_row_delta("orders_1", 100)
+        versions.append(catalog.stats_version("orders_1"))
+        catalog.apply_row_delta("orders_1", -100)
+        versions.append(catalog.stats_version("orders_1"))
+        catalog.set_row_count(
+            "orders_1", catalog.table("orders_1").row_count
+        )
+        versions.append(catalog.stats_version("orders_1"))
+        catalog.bump_stats_version("orders_1")
+        versions.append(catalog.stats_version("orders_1"))
+        assert versions == sorted(set(versions))  # strictly increasing
+
+    def test_mutators_validate_the_table(self, catalog):
+        with pytest.raises(KeyError):
+            catalog.apply_row_delta("no_such_table", 1)
+        with pytest.raises(KeyError):
+            catalog.set_row_count("no_such_table", 1)
+        with pytest.raises(KeyError):
+            catalog.bump_stats_version("no_such_table")
+
+
 class TestInvalidation:
     def _seed_entry(self, catalog, cache, sql=ORDERS_SQL, gain=5.0):
         index = catalog.index_for("orders_1", "o_custkey")

@@ -14,6 +14,7 @@ from repro.core import ColtConfig, ColtTuner
 from repro.fleet.coordinator import FleetCoordinator
 from repro.obs.export import to_prometheus_text
 from repro.obs.names import (
+    BACKEND_METRICS,
     BANDIT_METRICS,
     CATALOG,
     FLEET_METRICS,
@@ -44,6 +45,7 @@ class TestCatalogShape:
             **FLEET_METRICS,
             **BANDIT_METRICS,
             **GUARDRAIL_METRICS,
+            **BACKEND_METRICS,
         }
         assert CATALOG == union
 
@@ -88,6 +90,7 @@ class TestLiveRegistration:
             | set(GAINCACHE_METRICS)
             | set(SCHEDULER_METRICS)
             | set(RESILIENCE_METRICS)
+            | set(BACKEND_METRICS)
         )
         assert expected <= names
 
@@ -111,6 +114,7 @@ class TestLiveRegistration:
             | set(GAINCACHE_METRICS)
             | set(SCHEDULER_METRICS)
             | set(RESILIENCE_METRICS)
+            | set(BACKEND_METRICS)
         )
         assert expected <= names
 

@@ -1,0 +1,135 @@
+#!/usr/bin/env python
+"""CI gate: trace replay must reproduce live tuning decisions exactly.
+
+Runs a shifting workload through COLT twice over the paper catalog:
+once live on the local backend (recording every pricing answer into a
+cost trace), then again on the trace backend replaying that recording
+over a fresh catalog.  Every per-epoch decision -- index sets added,
+dropped, materialized, the hot set, what-if spend, and budget grants --
+plus the (bit-exact) execution costs must match between the two runs;
+the JSON report written for the CI artifact lists each divergence
+otherwise.  A divergence means the backend protocol leaked
+nondeterminism into the tuning loop.
+
+Usage:
+    PYTHONPATH=src python tools/check_backend_parity.py out.json [queries]
+"""
+
+import dataclasses
+import json
+import sys
+
+from repro.backend.local import LocalBackend
+from repro.backend.trace import CostTraceRecorder, TraceBackend
+from repro.bench.tracing import trace_run
+from repro.core.config import ColtConfig
+from repro.workload import build_catalog, shifting_workload
+from repro.workload.experiments import phase_distributions
+
+EPOCH_FIELDS = (
+    "added",
+    "dropped",
+    "materialized",
+    "hot",
+    "whatif_used",
+    "budget_granted",
+    "execution_cost",
+    "total_cost",
+)
+
+
+def _workload(queries):
+    catalog = build_catalog()
+    # Two phases are enough to force hibernation, wake-up, and
+    # re-tuning -- the decision sequence replay must reproduce.
+    phases = phase_distributions()[:2]
+    workload = shifting_workload(
+        phases,
+        catalog,
+        phase_length=max(20, queries // 2),
+        transition=10,
+        seed=0,
+    )
+    return catalog, list(workload.queries)[:queries]
+
+
+def _diffs(live, replay):
+    diffs = []
+    if len(live.epochs) != len(replay.epochs):
+        diffs.append(
+            {
+                "field": "epoch_count",
+                "live": len(live.epochs),
+                "replay": len(replay.epochs),
+            }
+        )
+    for a, b in zip(live.epochs, replay.epochs):
+        for field in EPOCH_FIELDS:
+            if getattr(a, field) != getattr(b, field):
+                diffs.append(
+                    {
+                        "epoch": a.epoch,
+                        "field": field,
+                        "live": getattr(a, field),
+                        "replay": getattr(b, field),
+                    }
+                )
+    return diffs
+
+
+def main(argv):
+    if len(argv) not in (2, 3):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    out_path = argv[1]
+    queries = int(argv[2]) if len(argv) == 3 else 120
+    config = ColtConfig(epoch_length=20, storage_budget_pages=6000.0)
+
+    live_catalog, workload = _workload(queries)
+    recorder = CostTraceRecorder()
+    live = trace_run(
+        live_catalog,
+        workload,
+        config,
+        backend=LocalBackend(live_catalog, recorder=recorder),
+    )
+
+    replay_catalog, _ = _workload(queries)
+    replay_backend = TraceBackend(replay_catalog, recorder.trace)
+    try:
+        replay = trace_run(replay_catalog, workload, config, backend=replay_backend)
+        diffs = _diffs(live, replay)
+        replay_epochs = len(replay.epochs)
+    except Exception as exc:  # a TraceMissError IS a divergence
+        diffs = [{"field": "replay_error", "live": None, "replay": str(exc)}]
+        replay_epochs = 0
+
+    report = {
+        "queries": len(workload),
+        "config": dataclasses.asdict(config),
+        "trace_entries": len(recorder.trace),
+        "replayed_lookups": replay_backend.replayed,
+        "live_epochs": len(live.epochs),
+        "replay_epochs": replay_epochs,
+        "divergences": diffs,
+    }
+    with open(out_path, "w") as handle:
+        json.dump(report, handle, indent=2)
+    print(
+        f"backend parity: {len(workload)} queries, "
+        f"{len(recorder.trace)} trace entries, "
+        f"{len(live.epochs)} epochs, {len(diffs)} divergence(s)"
+    )
+
+    if not live.epochs:
+        print("no epochs completed; workload too short to gate on", file=sys.stderr)
+        return 1
+    if diffs:
+        for diff in diffs[:10]:
+            print(f"  divergence: {diff}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
