@@ -1,0 +1,81 @@
+"""Batched replay throughput bound on a shifting multi-client stream.
+
+Acceptance criteria for the batched hot path (PR 9): replaying a
+shifting two-client stream, the :class:`~repro.core.batching.
+BatchedPricer` + interned candidate mining must lift wall-clock QPS by
+at least 1.2x over the per-query serial loop **while making bit-
+identical decisions** (same cost-model total, same what-if ledger).
+``tools/check_throughput.py`` enforces the same bound in CI against the
+committed ``BENCH_throughput.json``; this benchmark is the local,
+pytest-visible version.
+"""
+
+from repro.bench.replay import ReplayStream, build_replay_tuner, replay_serial
+from repro.core.config import ColtConfig
+from repro.workload.datagen import build_catalog
+from repro.workload.experiments import phase_distributions
+from repro.workload.phases import multi_client_workload, shifting_workload
+
+EVENTS = 8_000
+BATCH_SIZE = 64
+MIN_SPEEDUP = 1.2
+
+
+def _stream():
+    catalog = build_catalog()
+    phases = phase_distributions()
+    clients = [
+        shifting_workload(
+            [phases[i % len(phases)], phases[(i + 1) % len(phases)]],
+            catalog,
+            phase_length=100,
+            transition=20,
+            seed=11 + i,
+        )
+        for i in range(2)
+    ]
+    return ReplayStream.from_workload(
+        multi_client_workload(clients, seed=18), events=EVENTS, seed=11
+    )
+
+
+def _compare():
+    stream = _stream()
+    serial = replay_serial(
+        build_replay_tuner(build_catalog(), ColtConfig()), stream
+    )
+    batched = replay_serial(
+        build_replay_tuner(build_catalog(), ColtConfig(), batched=True),
+        stream,
+        batch_size=BATCH_SIZE,
+    )
+    return serial, batched
+
+
+def test_batched_replay_speedup(benchmark, report):
+    serial, batched = benchmark.pedantic(_compare, rounds=1)
+
+    speedup = batched.qps / serial.qps
+    lines = [
+        f"events:             {serial.events}",
+        f"serial qps:         {serial.qps:,.0f} "
+        f"(p50 {serial.latency['p50'] * 1e6:.0f}us, "
+        f"p99 {serial.latency['p99'] * 1e6:.0f}us)",
+        f"batched qps:        {batched.qps:,.0f} "
+        f"(p50 {batched.latency['p50'] * 1e6:.0f}us, "
+        f"p99 {batched.latency['p99'] * 1e6:.0f}us)",
+        f"speedup:            {speedup:.3f}x (bound: >= {MIN_SPEEDUP}x)",
+        f"memo hits/misses:   {batched.detail['memo_hits']}/"
+        f"{batched.detail['memo_misses']}",
+        f"total cost equal:   {batched.total_cost == serial.total_cost}",
+        f"whatif ledger equal: {batched.whatif_calls == serial.whatif_calls}",
+    ]
+    report("\n".join(lines))
+
+    # Decision preservation first -- a throughput win that changes
+    # decisions would be meaningless.
+    assert batched.total_cost == serial.total_cost
+    assert batched.whatif_calls == serial.whatif_calls
+    assert batched.failed == serial.failed == 0
+    # The acceptance bound, same number the CI gate enforces.
+    assert speedup >= MIN_SPEEDUP

@@ -164,6 +164,17 @@ class Backend:
         base = self.optimize(query, cache=cache)
         return WhatIfSession(query=query, base=base, cache=cache)
 
+    def begin_queries(self, queries) -> list:
+        """Open what-if sessions for a whole batch, in batch order.
+
+        The default is the per-query loop; batch-aware backends (the
+        :class:`~repro.core.batching.BatchedPricer` memo, a future
+        server adapter pipelining EXPLAINs) override this to share work
+        across the batch.  Results MUST be element-wise identical to
+        the loop -- the batched-path property tests enforce it.
+        """
+        return [self.begin_query(query) for query in queries]
+
     def optimize(
         self,
         query: Query,
@@ -225,6 +236,22 @@ class Backend:
     def simulated_indexes(self) -> IndexConfig:
         """The currently simulated (hypothetical) index set."""
         return frozenset()
+
+    def config_token(self) -> Optional[tuple]:
+        """Cheap validity token covering *everything* ``optimize`` sees.
+
+        When non-``None``, two equal tokens assert the backend would
+        price any query identically: the materialized set, the simulated
+        set, and every table's statistics are all unchanged.  Batch
+        memos (:class:`~repro.core.batching.BatchedPricer`) use it to
+        validate a hit with one tuple compare instead of recomputing
+        the relevant configuration and per-table stats tokens per
+        lookup.  The default returns ``None`` ("no cheap token"),
+        which is always safe: callers must then fall back to the full
+        self-validating key.  Only backends that fully own their
+        pricing state (the local engine) should implement it.
+        """
+        return None
 
     # -- statistics ----------------------------------------------------
     def stats_token(self, table: str) -> StatsToken:

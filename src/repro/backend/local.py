@@ -97,6 +97,19 @@ class LocalBackend(Backend):
             self.recorder.record(query, config, result)
         return result
 
+    def config_token(self):
+        """One-integer validity token (see :meth:`Backend.config_token`).
+
+        The local backend owns all of its pricing state: the catalog
+        (whose ``generation`` counter is bumped by every stats change
+        and every materialization change) plus the simulated-index set.
+        The two tuple shapes cannot collide: the simulated set is only
+        appended when non-empty.
+        """
+        if self._simulated:
+            return (self.optimizer.catalog.generation, frozenset(self._simulated))
+        return (self.optimizer.catalog.generation,)
+
     # -- hypothetical indexes ------------------------------------------
     def simulate_index(self, index: IndexDef) -> None:
         self._simulated[index] = None

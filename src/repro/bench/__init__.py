@@ -2,7 +2,9 @@
 
 ``harness`` runs COLT and OFFLINE over a workload on separate catalogs
 and collects per-query ledgers; ``figures`` turns those ledgers into the
-exact series each figure of the paper plots.
+exact series each figure of the paper plots; ``replay`` is the
+throughput driver (wall-clock QPS and latency percentiles over 1M+
+event streams, serial vs batched vs multiprocess fleet).
 """
 
 from repro.bench.harness import (
@@ -18,15 +20,31 @@ from repro.bench.figures import (
     figure6_noise,
     table1_dataset,
 )
+from repro.bench.replay import (
+    ReplayEvent,
+    ReplayReport,
+    ReplayStream,
+    build_replay_tuner,
+    replay_fleet,
+    replay_serial,
+    write_throughput_report,
+)
 
 __all__ = [
     "ColtRun",
     "OfflineRun",
+    "ReplayEvent",
+    "ReplayReport",
+    "ReplayStream",
+    "build_replay_tuner",
     "figure3_stable",
     "figure4_shifting",
     "figure5_overhead",
     "figure6_noise",
+    "replay_fleet",
+    "replay_serial",
     "run_colt",
     "run_offline",
     "table1_dataset",
+    "write_throughput_report",
 ]

@@ -1,0 +1,436 @@
+"""Throughput-oriented replay driver (the serving-path benchmark).
+
+Where ``repro.bench.harness`` measures *cost-model* quantities (the
+paper's figures), this module measures the reproduction as a **system**:
+wall-clock queries per second and per-query latency percentiles while a
+1M+ event stream flows through a tuner, a fleet, or a multiprocess
+fleet.  Latency lands in the ordinary obs histogram
+(``replay_query_latency_seconds``, fine-grained
+:data:`~repro.obs.registry.LATENCY_BUCKETS`) and the percentiles are
+read back with :mod:`repro.obs.quantiles` -- the same machinery a
+production dashboard would use, and the machinery the multiprocess
+fleet needs anyway (workers ship bucket counts, never raw samples).
+
+Three modes, compared in ``BENCH_throughput.json``:
+
+* ``serial``   -- one tuner, one process, per-query loop (baseline);
+* ``batched``  -- one tuner whose backend is wrapped in the
+  :class:`~repro.core.batching.BatchedPricer`, fed chunk-at-a-time so
+  binding/signature work and base optimizations amortize across the
+  batch (decisions bit-identical to ``serial``);
+* ``workers``  -- a :class:`~repro.fleet.workers.WorkerFleetCoordinator`
+  running N replicas on N cores (decisions bit-identical per replica to
+  the single-process fleet).
+
+``tools/check_throughput.py`` gates CI on the resulting report.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+import time
+from typing import Dict, Iterator, List, Optional, Sequence, Union
+
+from repro.backend.local import LocalBackend
+from repro.core.batching import BatchedPricer, SignatureInterner
+from repro.core.colt import ColtTuner
+from repro.core.config import ColtConfig
+from repro.engine.catalog import Catalog
+from repro.obs.names import REPLAY_METRICS
+from repro.obs.quantiles import merge_histogram_samples, summarize_sample
+from repro.obs.registry import MetricsRegistry
+from repro.sql.ast import Query
+from repro.workload.phases import Workload
+
+__all__ = [
+    "ReplayEvent",
+    "ReplayReport",
+    "ReplayStream",
+    "build_replay_tuner",
+    "replay_fleet",
+    "replay_serial",
+    "write_throughput_report",
+]
+
+#: Default mean arrival rate for generated streams, events/second.
+DEFAULT_ARRIVAL_RATE = 2000.0
+
+#: Default hot-path chunk size for the batched mode.
+DEFAULT_BATCH_SIZE = 64
+
+
+@dataclasses.dataclass(frozen=True)
+class ReplayEvent:
+    """One arrival in a replay stream.
+
+    Attributes:
+        index: 0-based position in the stream.
+        timestamp: Arrival offset from stream start, in seconds.
+        query: The bound query.
+        client_id: Stable submitting-client id (None when untagged).
+    """
+
+    index: int
+    timestamp: float
+    query: Query
+    client_id: Optional[int] = None
+
+
+class ReplayStream:
+    """A timed query stream of arbitrary length.
+
+    Production streams are long but repetitive; a replay stream cycles
+    a finite base workload out to ``events`` arrivals and stamps each
+    with a seeded exponential inter-arrival time (a Poisson process,
+    the standard open-loop arrival model).  Cycling reuses the *same
+    query objects*, which is exactly what the identity-keyed memos in
+    the batched hot path exploit.
+
+    Args:
+        queries: Base queries, in order.
+        client_ids: Optional per-query client tags (cycled with the
+            queries).
+        events: Stream length; defaults to one pass over the base.
+        seed: RNG seed for arrival times.
+        arrival_rate: Mean arrivals per second for the timestamps.
+    """
+
+    def __init__(
+        self,
+        queries: Sequence[Query],
+        client_ids: Optional[Sequence[Optional[int]]] = None,
+        events: Optional[int] = None,
+        seed: int = 0,
+        arrival_rate: float = DEFAULT_ARRIVAL_RATE,
+    ) -> None:
+        if not queries:
+            raise ValueError("replay stream needs a non-empty base workload")
+        if client_ids is not None and len(client_ids) != len(queries):
+            raise ValueError("client_ids must match queries in length")
+        if arrival_rate <= 0:
+            raise ValueError("arrival_rate must be positive")
+        self.queries = list(queries)
+        self.client_ids = list(client_ids) if client_ids is not None else None
+        self.events = int(events) if events is not None else len(self.queries)
+        if self.events < 1:
+            raise ValueError("events must be positive")
+        self.seed = seed
+        self.arrival_rate = float(arrival_rate)
+
+    @classmethod
+    def from_workload(
+        cls,
+        workload: Workload,
+        events: Optional[int] = None,
+        seed: int = 0,
+        arrival_rate: float = DEFAULT_ARRIVAL_RATE,
+    ) -> "ReplayStream":
+        """Build a stream by cycling a :class:`Workload`'s queries."""
+        return cls(
+            workload.queries,
+            client_ids=workload.client_ids,
+            events=events,
+            seed=seed,
+            arrival_rate=arrival_rate,
+        )
+
+    def __len__(self) -> int:
+        return self.events
+
+    def __iter__(self) -> Iterator[ReplayEvent]:
+        import random
+
+        rng = random.Random(self.seed)
+        n = len(self.queries)
+        clock = 0.0
+        for i in range(self.events):
+            clock += rng.expovariate(self.arrival_rate)
+            j = i % n
+            yield ReplayEvent(
+                index=i,
+                timestamp=clock,
+                query=self.queries[j],
+                client_id=self.client_ids[j] if self.client_ids else None,
+            )
+
+    def chunks(self, size: int) -> Iterator[List[ReplayEvent]]:
+        """The stream as consecutive chunks of at most ``size`` events."""
+        if size < 1:
+            raise ValueError("chunk size must be positive")
+        chunk: List[ReplayEvent] = []
+        for event in self:
+            chunk.append(event)
+            if len(chunk) == size:
+                yield chunk
+                chunk = []
+        if chunk:
+            yield chunk
+
+
+@dataclasses.dataclass
+class ReplayReport:
+    """What one replay run measured.
+
+    Attributes:
+        mode: ``serial`` / ``batched`` / ``fleet-serial`` / ``workers``.
+        events: Arrivals processed.
+        wall_seconds: Wall-clock duration of the processing loop.
+        qps: ``events / wall_seconds``.
+        latency: Percentile summary of per-query processing latency in
+            seconds (``p50``/``p95``/``p99``/``mean``/``count``), read
+            from the obs histogram.
+        total_cost: Cost-model total (sanity anchor: identical across
+            decision-equivalent modes).
+        whatif_calls: Ledger what-if calls (same anchor).
+        failed: Queries recorded as failed.
+        detail: Mode-specific extras (memo hit rates, worker count...).
+    """
+
+    mode: str
+    events: int
+    wall_seconds: float
+    qps: float
+    latency: Dict[str, Optional[float]]
+    total_cost: float
+    whatif_calls: int
+    failed: int = 0
+    detail: Dict = dataclasses.field(default_factory=dict)
+
+    def to_dict(self) -> Dict:
+        """The report as a plain JSON-serializable dict."""
+        return dataclasses.asdict(self)
+
+
+def build_replay_tuner(
+    catalog: Catalog,
+    config: Optional[ColtConfig] = None,
+    batched: bool = False,
+    interner: Optional[SignatureInterner] = None,
+) -> ColtTuner:
+    """A tuner wired for replay: local backend, metrics off the hot path.
+
+    With ``batched=True`` the backend is wrapped in a
+    :class:`BatchedPricer` (decision-preserving; see
+    ``repro/core/batching.py``) and the candidate tracker's mining +
+    crude-benefit computation is memoized through the same signature
+    interner (also decision-preserving; see
+    :meth:`~repro.core.candidates.CandidateTracker.use_interner`).
+    The tuner's own registry is disabled -- the driver measures with
+    its own registry -- so both modes pay identical instrumentation
+    costs.
+    """
+    backend: object = LocalBackend(catalog)
+    if batched:
+        backend = BatchedPricer(backend, interner=interner)
+    tuner = ColtTuner(
+        catalog,
+        config,
+        backend=backend,
+        registry=MetricsRegistry(enabled=False),
+    )
+    if batched:
+        tuner.profiler.candidates.use_interner(backend.interner)
+    return tuner
+
+
+def _driver_metrics(registry: MetricsRegistry):
+    return (
+        REPLAY_METRICS["replay_queries_total"].build(registry),
+        REPLAY_METRICS["replay_batches_total"].build(registry),
+        REPLAY_METRICS["replay_query_latency_seconds"].build(registry),
+    )
+
+
+def _latency_summary(histogram) -> Dict[str, Optional[float]]:
+    samples = histogram.samples()
+    if not samples:
+        return summarize_sample({"count": 0, "sum": 0.0, "buckets": {}})
+    return summarize_sample(merge_histogram_samples(samples))
+
+
+def replay_serial(
+    tuner: ColtTuner,
+    stream: ReplayStream,
+    batch_size: Optional[int] = None,
+    registry: Optional[MetricsRegistry] = None,
+    on_error: str = "raise",
+) -> ReplayReport:
+    """Replay a stream through one tuner, timing every query.
+
+    Args:
+        tuner: The tuner under test (build with :func:`build_replay_tuner`).
+        stream: The event stream.
+        batch_size: When given, the stream is fed chunk-at-a-time: the
+            gain cache is primed per chunk and the backend's
+            ``begin_queries`` warms the batched pricer's memo before
+            the per-query loop (the ``batched`` mode).  None processes
+            strictly one query at a time (the ``serial`` baseline).
+        registry: Registry for the driver's ``replay_*`` families;
+            fresh when omitted.
+        on_error: ``"raise"`` or ``"skip"`` (forwarded to the tuner).
+    """
+    registry = registry if registry is not None else MetricsRegistry()
+    m_queries, m_batches, m_latency = _driver_metrics(registry)
+    perf = time.perf_counter
+    total_cost = 0.0
+    whatif_calls = 0
+    failed = 0
+    events = 0
+    gain_cache = tuner.profiler.gain_cache
+    backend = tuner.whatif.backend
+    batched = batch_size is not None
+
+    started = perf()
+    if batched:
+        for chunk in stream.chunks(batch_size):
+            queries = [e.query for e in chunk]
+            gain_cache.prime_batch(queries)
+            backend.begin_queries(queries)
+            m_batches.inc()
+            for event in chunk:
+                t0 = perf()
+                outcome = tuner.run([event.query], on_error=on_error)[0]
+                m_latency.observe(perf() - t0)
+                total_cost += outcome.total_cost
+                whatif_calls += outcome.whatif_calls
+                failed += outcome.failed
+                events += 1
+    else:
+        for event in stream:
+            t0 = perf()
+            outcome = tuner.run([event.query], on_error=on_error)[0]
+            m_latency.observe(perf() - t0)
+            total_cost += outcome.total_cost
+            whatif_calls += outcome.whatif_calls
+            failed += outcome.failed
+            events += 1
+    wall = perf() - started
+    m_queries.inc(events)
+
+    detail: Dict = {"engine": "colt"}
+    if isinstance(backend, BatchedPricer):
+        detail["memo_hits"] = backend.hits
+        detail["memo_misses"] = backend.misses
+        detail["gaincache_hits"] = gain_cache.hits
+    return ReplayReport(
+        mode="batched" if batched else "serial",
+        events=events,
+        wall_seconds=wall,
+        qps=events / wall if wall > 0 else 0.0,
+        latency=_latency_summary(m_latency),
+        total_cost=total_cost,
+        whatif_calls=whatif_calls,
+        failed=failed,
+        detail=detail,
+    )
+
+
+def replay_fleet(
+    coordinator,
+    stream: ReplayStream,
+    registry: Optional[MetricsRegistry] = None,
+    on_error: str = "raise",
+) -> ReplayReport:
+    """Replay a stream through a fleet coordinator (serial or workers).
+
+    A single-process coordinator is driven query-at-a-time with
+    driver-side latency timing; a multiprocess coordinator
+    (``FleetCoordinator(workers=N)``) is driven through its chunked
+    ``run`` and reports latency from the per-worker obs histograms,
+    merged associatively (:func:`~repro.obs.quantiles.
+    merge_histogram_samples`) -- raw samples never cross the process
+    boundary.
+    """
+    registry = registry if registry is not None else MetricsRegistry()
+    m_queries, m_batches, m_latency = _driver_metrics(registry)
+    perf = time.perf_counter
+
+    events = list(stream)
+    queries = [e.query for e in events]
+    client_ids = [e.client_id for e in events]
+
+    started = perf()
+    if getattr(coordinator, "is_multiprocess", False):
+        run = coordinator.run(queries, client_ids=client_ids, on_error=on_error)
+        wall = perf() - started
+        latency = coordinator.latency_summary()
+        mode = "workers"
+        detail = {
+            "workers": coordinator.workers,
+            "replicas": len(coordinator.replicas),
+            "policy": run.policy,
+        }
+    else:
+        for event in events:
+            t0 = perf()
+            coordinator.process_query(
+                event.query, client_id=event.client_id, on_error=on_error
+            )
+            m_latency.observe(perf() - t0)
+        wall = perf() - started
+        latency = _latency_summary(m_latency)
+        mode = "fleet-serial"
+        detail = {
+            "replicas": len(coordinator.replicas),
+            "policy": coordinator.policy,
+        }
+        run = None
+    m_queries.inc(len(events))
+
+    stats = coordinator.replicas
+    total_cost = sum(r.stats.total_cost for r in stats)
+    failed = sum(r.stats.failed for r in stats)
+    whatif = (
+        sum(r.stats.whatif_calls for r in stats)
+        if all(hasattr(r.stats, "whatif_calls") for r in stats)
+        else 0
+    )
+    return ReplayReport(
+        mode=mode,
+        events=len(events),
+        wall_seconds=wall,
+        qps=len(events) / wall if wall > 0 else 0.0,
+        latency=latency,
+        total_cost=total_cost,
+        whatif_calls=whatif,
+        failed=failed,
+        detail=detail,
+    )
+
+
+def write_throughput_report(
+    path: Union[str, pathlib.Path],
+    reports: Sequence[ReplayReport],
+    meta: Optional[Dict] = None,
+) -> pathlib.Path:
+    """Write ``BENCH_throughput.json`` (the bench trajectory file).
+
+    The layout mirrors ``BENCH_guardrails.json``/``BENCH_bandit.json``:
+    a self-describing dict with one entry per mode plus headline
+    ratios, so future re-anchors can read the perf curve without
+    running anything.
+    """
+    by_mode = {r.mode: r.to_dict() for r in reports}
+    serial = by_mode.get("serial")
+    document = {
+        "benchmark": "replay-throughput",
+        "description": (
+            "Wall-clock QPS and latency percentiles for the replay "
+            "driver: serial vs batched hot path vs multiprocess fleet "
+            "workers (see docs/PERFORMANCE.md)."
+        ),
+        "meta": dict(meta or {}),
+        "modes": by_mode,
+        "speedups_vs_serial": {
+            mode: round(r["qps"] / serial["qps"], 3)
+            for mode, r in by_mode.items()
+            if serial and serial["qps"] > 0
+        }
+        if serial
+        else {},
+    }
+    target = pathlib.Path(path)
+    target.write_text(json.dumps(document, indent=1, sort_keys=False) + "\n")
+    return target

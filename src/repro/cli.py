@@ -324,7 +324,78 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-replica verification/quarantine plus staged canary "
         "rollout of new indexes (see docs/GUARDRAILS.md)",
     )
+    pf.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run the fleet's replicas in N worker processes (one per "
+        "replica, overriding --replicas; bit-identical decisions, see "
+        "docs/FLEET.md); 0 keeps everything in-process",
+    )
     _add_engine_flag(pf, "epoch-loop engines only (colt, bandit)")
+
+    pp = sub.add_parser(
+        "replay",
+        help="throughput benchmark: replay a timed query stream and report "
+        "wall-clock QPS plus latency percentiles (docs/PERFORMANCE.md)",
+    )
+    pp.add_argument(
+        "--events",
+        type=int,
+        default=1_000_000,
+        help="stream length (the base workload is cycled out to this many "
+        "timestamped arrivals)",
+    )
+    pp.add_argument(
+        "--mode",
+        choices=("serial", "batched", "workers", "all"),
+        default="all",
+        help="which serving paths to measure",
+    )
+    pp.add_argument(
+        "--batch-size",
+        type=int,
+        default=64,
+        help="hot-path chunk size for the batched mode",
+    )
+    pp.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker process count (= fleet size) for the workers mode",
+    )
+    pp.add_argument("--seed", type=int, default=0, help="workload RNG seed")
+    pp.add_argument(
+        "--budget",
+        type=float,
+        default=DEFAULT_BUDGET_PAGES,
+        help="storage budget in pages (per replica in workers mode)",
+    )
+    pp.add_argument(
+        "--phase-length", type=int, default=100, help="queries per client phase"
+    )
+    pp.add_argument(
+        "--transition", type=int, default=20, help="phase transition length"
+    )
+    pp.add_argument(
+        "--fleet-epoch",
+        type=int,
+        default=200,
+        help="queries between fleet reorganizations (workers mode)",
+    )
+    pp.add_argument(
+        "--arrival-rate",
+        type=float,
+        default=2000.0,
+        help="mean arrivals/second stamped on the generated stream",
+    )
+    pp.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the throughput report (BENCH_throughput.json layout)",
+    )
 
     pg = sub.add_parser(
         "fleet-status",
@@ -416,6 +487,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             _run_metrics(args)
         elif args.command == "fleet-run":
             _run_fleet(args)
+        elif args.command == "replay":
+            _run_replay(args)
         elif args.command == "fleet-status":
             _run_fleet_status(args)
         elif args.command == "audit":
@@ -803,6 +876,12 @@ def _run_fleet(args) -> None:
 
     _require_epoch_engine("fleet-run", args.engine)
     _check_gain_cache(args.engine, args.gain_cache)
+    if args.workers and args.guardrails == "on":
+        raise ValueError(
+            "--workers does not support --guardrails on "
+            "(see repro.fleet.workers)"
+        )
+    n_replicas = args.workers if args.workers else args.replicas
     catalog = build_catalog()
     phases = phase_distributions()
     # One client per replica, each shifting through its own pair of
@@ -816,12 +895,12 @@ def _run_fleet(args) -> None:
             transition=args.transition,
             seed=args.seed + i,
         )
-        for i in range(args.replicas)
+        for i in range(n_replicas)
     ]
     merged = multi_client_workload(clients, seed=args.seed + 7)
     fleet = FleetCoordinator(
         build_catalog,
-        n_replicas=args.replicas,
+        n_replicas=n_replicas,
         config=ColtConfig(
             storage_budget_pages=args.budget,
             gain_cache=args.gain_cache == "on",
@@ -830,13 +909,26 @@ def _run_fleet(args) -> None:
         fleet_epoch_length=args.fleet_epoch,
         guardrails=GuardrailConfig() if args.guardrails == "on" else None,
         engine=args.engine,
+        workers=args.workers,
     )
-    run = fleet.run(merged)
+    try:
+        run = fleet.run(merged)
+        _print_fleet_report(args, fleet, run, merged)
+    finally:
+        if args.workers:
+            fleet.close()
+
+
+def _print_fleet_report(args, fleet, run, merged) -> None:
+    from repro.fleet import save_fleet
 
     print(f"workload: {merged.description}")
+    workers_note = (
+        f", {args.workers} worker processes" if getattr(args, "workers", 0) else ""
+    )
     print(
-        f"policy:   {run.policy} ({args.replicas} replicas, "
-        f"engine {fleet.engine})\n"
+        f"policy:   {run.policy} ({len(fleet.replicas)} replicas, "
+        f"engine {fleet.engine}{workers_note})\n"
     )
     print(
         f"{'replica':>8} {'health':>9} {'queries':>8} {'|M|':>4} "
@@ -882,6 +974,120 @@ def _run_fleet(args) -> None:
 
         fmt = write_metrics(args.metrics_out, fleet.metrics_snapshot())
         print(f"\nmetrics snapshot written: {args.metrics_out} ({fmt})")
+
+
+def _run_replay(args) -> None:
+    from repro.bench.replay import (
+        ReplayStream,
+        build_replay_tuner,
+        replay_fleet,
+        replay_serial,
+        write_throughput_report,
+    )
+    from repro.core.config import ColtConfig
+    from repro.fleet import FleetCoordinator
+    from repro.workload import (
+        build_catalog,
+        multi_client_workload,
+        shifting_workload,
+    )
+    from repro.workload.experiments import phase_distributions
+
+    if args.events < 1:
+        raise ValueError("--events must be positive")
+    if args.workers < 1:
+        raise ValueError("--workers must be positive")
+    modes = (
+        ("serial", "batched", "workers") if args.mode == "all" else (args.mode,)
+    )
+    config = ColtConfig(storage_budget_pages=args.budget)
+    catalog = build_catalog()
+    phases = phase_distributions()
+    # Same multi-client shifting base workload fleet-run uses, cycled
+    # out to --events timestamped arrivals.
+    clients = [
+        shifting_workload(
+            [phases[i % len(phases)], phases[(i + 1) % len(phases)]],
+            catalog,
+            phase_length=args.phase_length,
+            transition=args.transition,
+            seed=args.seed + i,
+        )
+        for i in range(args.workers)
+    ]
+    merged = multi_client_workload(clients, seed=args.seed + 7)
+    stream = ReplayStream.from_workload(
+        merged,
+        events=args.events,
+        seed=args.seed,
+        arrival_rate=args.arrival_rate,
+    )
+    print(
+        f"replaying {args.events:,} events "
+        f"(base workload: {len(merged.queries)} queries, "
+        f"arrival rate {args.arrival_rate:,.0f}/s)\n"
+    )
+
+    reports = []
+    for mode in modes:
+        if mode == "serial":
+            tuner = build_replay_tuner(build_catalog(), config)
+            report = replay_serial(tuner, stream)
+        elif mode == "batched":
+            tuner = build_replay_tuner(build_catalog(), config, batched=True)
+            report = replay_serial(tuner, stream, batch_size=args.batch_size)
+        else:
+            fleet = FleetCoordinator(
+                build_catalog,
+                config=config,
+                policy="client",
+                fleet_epoch_length=args.fleet_epoch,
+                workers=args.workers,
+            )
+            try:
+                report = replay_fleet(fleet, stream, on_error="skip")
+            finally:
+                fleet.close()
+        reports.append(report)
+        lat = report.latency
+        pct = " ".join(
+            f"{name}={lat[name] * 1e6:,.0f}us" if lat[name] is not None else f"{name}=n/a"
+            for name in ("p50", "p95", "p99")
+        )
+        print(f"{report.mode:>8}: {report.qps:>10,.0f} qps   {pct}")
+
+    serial = next((r for r in reports if r.mode == "serial"), None)
+    if serial is not None and serial.qps > 0:
+        for report in reports:
+            if report.mode != "serial":
+                print(
+                    f"\n{report.mode} speedup vs serial: "
+                    f"{report.qps / serial.qps:.2f}x"
+                )
+    if args.out:
+        import os
+
+        try:
+            cpu_cores = len(os.sched_getaffinity(0))
+        except AttributeError:  # non-linux
+            cpu_cores = os.cpu_count() or 1
+        path = write_throughput_report(
+            args.out,
+            reports,
+            meta={
+                "events": args.events,
+                "batch_size": args.batch_size,
+                "workers": args.workers,
+                "seed": args.seed,
+                "base_workload": merged.description,
+                # Gates that need real parallelism (workers vs serial)
+                # are only meaningful when the measuring host actually
+                # had cores to parallelize over; see
+                # tools/check_throughput.py.
+                "cpu_cores": cpu_cores,
+            },
+        )
+        print(f"\nthroughput report written: {path}")
 
 
 def _fleet_status_document(directory) -> dict:

@@ -1,0 +1,358 @@
+"""Batched hot path: interned signatures and memoized base optimization.
+
+The per-query serving path spends its time in three places: binding,
+signature computation (gain cache + clustering), and the *base*
+optimization that opens every what-if session.  A replayed production
+stream is massively repetitive -- the same query shapes arrive again
+and again -- so all three are memoizable **without changing a single
+decision**:
+
+* :class:`SignatureInterner` computes each query's structural signature
+  once (identity-keyed, so replaying the same query object is a dict
+  hit) and interns equal signatures to one tuple object.
+* :func:`bind_batch` binds a batch against the catalog with
+  signature-keyed reuse: structurally identical queries share one bound
+  copy, so downstream identity-keyed memos (the interner, the gain
+  cache's batch priming) hit for free.
+* :class:`BatchedPricer` wraps any :class:`~repro.backend.base.Backend`
+  and memoizes :meth:`~repro.backend.base.Backend.begin_query` -- the
+  dominant per-query optimizer invocation -- under the same
+  self-validating key discipline as the gain cache (PR 4): query
+  structural signature, relevant-configuration signature, and per-table
+  statistics tokens.  A hit can only serve a result the backend would
+  recompute identically (the optimizer is deterministic in those three
+  inputs), which is what lets the differential and property tests
+  demand bit-identical decision streams between batched and unbatched
+  runs.
+
+What is *not* memoized: anything behind the profiler's RNG (probation
+sampling order), budget accounting, or ``WhatIfOptimizer.call_count``
+-- the ledger still charges every probe, exactly as the gain cache's
+"hits are charged, calls are not" budget semantics established.
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.backend.base import Backend, WhatIfSession
+from repro.core.gaincache import query_signature
+from repro.engine.catalog import Catalog
+from repro.optimizer.access import IndexConfig
+from repro.optimizer.optimizer import OptimizationResult, PlanCache
+from repro.sql.ast import Query
+from repro.sql.binder import bind_query
+
+__all__ = ["BatchedPricer", "SignatureInterner", "bind_batch"]
+
+
+class SignatureInterner:
+    """Compute-once, share-everything query signatures.
+
+    Two layers of reuse:
+
+    * identity: the signature of a query *object* is computed once
+      (replay streams cycle the same objects, so this is the common
+      hit);
+    * structure: equal signatures from distinct objects are interned to
+      a single tuple, so hash-heavy consumers (gain cache keys, pricer
+      memo keys) compare and hash one shared object.
+
+    The interner holds strong references to the queries it has seen --
+    that is what makes the ``id()`` fast path sound (a dead object's id
+    can be reused; a live one's cannot).  Call :meth:`clear` between
+    unrelated streams.
+    """
+
+    def __init__(self) -> None:
+        self._by_id: Dict[int, Tuple[Query, Tuple, int]] = {}
+        self._interned: Dict[Tuple, Tuple] = {}
+        self._index: Dict[Tuple, int] = {}
+        # Never reset, even by clear(): signature indices are unique
+        # for the interner's whole lifetime, so a consumer that keys a
+        # cache by index and misses a clear() can only miss, never
+        # silently alias two distinct signatures.
+        self._next_index = 0
+
+    def __len__(self) -> int:
+        return len(self._interned)
+
+    def signature(self, query: Query) -> Tuple:
+        """The (interned) structural signature of ``query``."""
+        return self.signature_index(query)[0]
+
+    def signature_index(self, query: Query) -> Tuple[Tuple, int]:
+        """``(signature, index)`` for ``query``.
+
+        The index is a small integer unique to the signature's
+        *structure*: equal signatures share one index, distinct ones
+        never do.  Hash-heavy consumers key their memos by it instead
+        of the (large, hash-uncached) signature tuple, turning every
+        probe into an int hash.  Indices are never reused, even across
+        :meth:`clear`.
+        """
+        hit = self._by_id.get(id(query))
+        if hit is not None and hit[0] is query:
+            return hit[1], hit[2]
+        sig = query_signature(query)
+        sig = self._interned.setdefault(sig, sig)
+        index = self._index.get(sig)
+        if index is None:
+            index = self._next_index
+            self._next_index += 1
+            self._index[sig] = index
+        self._by_id[id(query)] = (query, sig, index)
+        return sig, index
+
+    def clear(self) -> None:
+        """Drop all memoized signatures (and the query references)."""
+        self._by_id.clear()
+        self._interned.clear()
+        self._index.clear()
+
+
+def bind_batch(
+    queries: Sequence[Query],
+    catalog: Catalog,
+    interner: Optional[SignatureInterner] = None,
+) -> List[Query]:
+    """Bind a batch of queries with signature-keyed reuse.
+
+    Equivalent to ``[bind_query(q, catalog) for q in queries]`` (the
+    binder is a pure function of query structure and catalog), except
+    that structurally identical queries share one bound object.  Sharing
+    is deliberate: every identity-keyed memo downstream -- the
+    interner's fast path, :meth:`GainCache.prime_batch
+    <repro.core.gaincache.GainCache.prime_batch>` -- then hits without
+    recomputing anything.
+
+    Raises:
+        repro.sql.binder.BindError: exactly when the per-query loop
+            would, on the first offending query.
+    """
+    interner = interner if interner is not None else SignatureInterner()
+    bound_by_sig: Dict[Tuple, Query] = {}
+    out: List[Query] = []
+    for query in queries:
+        sig = interner.signature(query)
+        bound = bound_by_sig.get(sig)
+        if bound is None:
+            bound = bind_query(query, catalog)
+            bound_by_sig[sig] = bound
+        out.append(bound)
+    return out
+
+
+class _MemoEntry:
+    __slots__ = ("base", "cache")
+
+    def __init__(self, base: OptimizationResult, cache: PlanCache) -> None:
+        self.base = base
+        self.cache = cache
+
+
+class BatchedPricer(Backend):
+    """Decision-preserving ``begin_query`` memo over any backend.
+
+    Args:
+        inner: The real backend answering optimizer requests.
+        interner: Shared signature interner (one per stream); a private
+            one is created when omitted.
+        max_entries: Memo capacity; least-recently-used entries are
+            evicted beyond it.
+
+    The memo key is ``(query signature, relevant-config signature,
+    per-table stats tokens)`` -- recomputed at every lookup, so a
+    materialization change or statistics bump can never serve a stale
+    base result; at worst it misses.  On a hit the stored
+    :class:`~repro.optimizer.optimizer.OptimizationResult` and the
+    *warmed* per-query :class:`~repro.optimizer.optimizer.PlanCache`
+    are reused, so the session's subsequent what-if probes also start
+    from cached sub-plans.  Everything else delegates to ``inner``
+    unchanged.
+    """
+
+    def __init__(
+        self,
+        inner: Backend,
+        interner: Optional[SignatureInterner] = None,
+        max_entries: int = 4096,
+    ) -> None:
+        self.inner = inner
+        self.interner = interner if interner is not None else SignatureInterner()
+        self.max_entries = max(1, max_entries)
+        self._memo: "collections.OrderedDict[Tuple, _MemoEntry]" = (
+            collections.OrderedDict()
+        )
+        # (config_token, current_config): one config recompute per
+        # backend state change instead of one per lookup.
+        self._config_cache: Optional[Tuple[tuple, IndexConfig]] = None
+        # sig index -> (config_token, csig): the relevant-config
+        # signature only changes when the backend's state does, so an
+        # unchanged token revalidates the cached frozenset with one
+        # int-keyed probe.
+        self._csig_cache: Dict[int, Tuple[tuple, frozenset]] = {}
+        # sig index -> (config_token, entry): the O(1) whole-session
+        # shortcut -- when *nothing* the optimizer sees has changed,
+        # the previously served entry is still exact and even the memo
+        # key build is skipped.  Keyed by signature index (never
+        # reused, see SignatureInterner), so a cleared interner can
+        # only cause misses, never aliasing.
+        self._fast: Dict[int, Tuple[tuple, _MemoEntry]] = {}
+        self.hits = 0
+        self.misses = 0
+        self._m_hits = None
+        self._m_misses = None
+
+    # -- delegation ----------------------------------------------------
+    @property
+    def capabilities(self):
+        return self.inner.capabilities
+
+    @property
+    def catalog(self) -> Catalog:
+        return self.inner.catalog
+
+    @property
+    def optimizer(self):
+        """The inner backend's plain optimizer (None for remote/replay)."""
+        return getattr(self.inner, "optimizer", None)
+
+    def current_config(self) -> IndexConfig:
+        return self.inner.current_config()
+
+    def optimize(self, query, config=None, session=None, cache=None):
+        return self.inner.optimize(
+            query, config=config, session=session, cache=cache
+        )
+
+    def get_cost(self, query, config=None, session=None) -> float:
+        return self.inner.get_cost(query, config=config, session=session)
+
+    def relevant_config(self, query: Query, config: IndexConfig) -> IndexConfig:
+        return self.inner.relevant_config(query, config)
+
+    def simulate_index(self, index) -> None:
+        self.inner.simulate_index(index)
+
+    def drop_simulated_index(self, index) -> None:
+        self.inner.drop_simulated_index(index)
+
+    def simulated_indexes(self) -> IndexConfig:
+        return self.inner.simulated_indexes()
+
+    def stats_token(self, table: str):
+        return self.inner.stats_token(table)
+
+    def config_token(self):
+        return self.inner.config_token()
+
+    def refresh_stats(self, table: str) -> None:
+        self.inner.refresh_stats(table)
+
+    def bind_registry(self, registry) -> None:
+        from repro.obs.names import REPLAY_METRICS
+
+        self.inner.bind_registry(registry)
+        self._m_hits = REPLAY_METRICS["replay_batch_memo_hits_total"].build(
+            registry
+        )
+        self._m_misses = REPLAY_METRICS[
+            "replay_batch_memo_misses_total"
+        ].build(registry)
+
+    # -- the memoized hot path -----------------------------------------
+    def _memo_key(self, query: Query) -> Tuple:
+        sig, index = self.interner.signature_index(query)
+        return self._key_for(query, sig, index, self.inner.config_token())
+
+    def _key_for(
+        self, query: Query, sig: Tuple, index: int, token: Optional[tuple]
+    ) -> Tuple:
+        # The key stays fine-grained -- (signature, relevant-config
+        # signature, per-table stats tokens) -- so a global config
+        # change that cannot affect this query still hits.  What the
+        # backend's config_token buys is making the key *cheap* to
+        # build: the current config is recomputed once per state change
+        # (not once per lookup), the relevant-config frozenset is
+        # revalidated per signature with one int-keyed probe, and the
+        # signature's small interned index stands in for the large
+        # hash-uncached signature tuple.  Backends without a token
+        # (config_token() is None) recompute everything every time,
+        # which is the original, always-safe behavior; the two key
+        # shapes cannot collide (tuple- vs int-leading).
+        if token is None:
+            config = self.inner.current_config()
+            relevant = self.inner.relevant_config(query, config)
+            csig = frozenset((ix.table, ix.columns) for ix in relevant)
+            tokens = tuple(
+                (t, self.inner.stats_token(t)) for t in query.tables
+            )
+            return sig, csig, tokens
+        cached = self._csig_cache.get(index)
+        if cached is not None and cached[0] == token:
+            csig = cached[1]
+        else:
+            cfg = self._config_cache
+            if cfg is None or cfg[0] != token:
+                cfg = (token, self.inner.current_config())
+                self._config_cache = cfg
+            relevant = self.inner.relevant_config(query, cfg[1])
+            csig = frozenset((ix.table, ix.columns) for ix in relevant)
+            self._csig_cache[index] = (token, csig)
+        tokens = tuple(
+            (t, self.inner.stats_token(t)) for t in query.tables
+        )
+        return index, csig, tokens
+
+    def begin_query(self, query: Query) -> WhatIfSession:
+        """Open a what-if session, serving the base result from the memo
+        when the (signature, config, stats) key proves it identical."""
+        sig, index = self.interner.signature_index(query)
+        token = self.inner.config_token()
+        if token is not None:
+            cached = self._fast.get(index)
+            if cached is not None and cached[0] == token:
+                self.hits += 1
+                if self._m_hits is not None:
+                    self._m_hits.inc()
+                entry = cached[1]
+                return WhatIfSession(
+                    query=query, base=entry.base, cache=entry.cache
+                )
+        key = self._key_for(query, sig, index, token)
+        entry = self._memo.get(key)
+        if entry is not None:
+            self._memo.move_to_end(key)
+            self.hits += 1
+            if self._m_hits is not None:
+                self._m_hits.inc()
+        else:
+            session = self.inner.begin_query(query)
+            self.misses += 1
+            if self._m_misses is not None:
+                self._m_misses.inc()
+            if len(self._memo) >= self.max_entries:
+                self._memo.popitem(last=False)
+            entry = _MemoEntry(session.base, session.cache)
+            self._memo[key] = entry
+        if token is not None:
+            self._fast[index] = (token, entry)
+        return WhatIfSession(query=query, base=entry.base, cache=entry.cache)
+
+    def begin_queries(self, queries: Iterable[Query]) -> List[WhatIfSession]:
+        """Warm the memo for a whole batch (sessions in batch order).
+
+        Duplicates inside the batch collapse to one base optimization;
+        the replay driver calls this per chunk so the per-query loop
+        that follows runs entirely on hits.
+        """
+        return [self.begin_query(q) for q in queries]
+
+    def clear(self) -> None:
+        """Drop every memo entry (stream boundary / tests)."""
+        self._memo.clear()
+        self._config_cache = None
+        self._csig_cache.clear()
+        self._fast.clear()

@@ -83,6 +83,26 @@ class CandidateTracker:
         self._smoothing = smoothing
         self._composite = composite
         self._stats: Dict[Tuple[str, Tuple[str, ...]], CandidateStats] = {}
+        self._interner = None
+        # sig index -> (per-table stats versions, [(index, crude)]):
+        # see use_interner.
+        self._crude_memo: Dict[int, Tuple[Tuple, List[Tuple[IndexDef, float]]]] = {}
+
+    def use_interner(self, interner) -> None:
+        """Memoize mining + crude costs through a signature interner.
+
+        Mining and ``crude_index_delta_cost`` are pure functions of the
+        query's structure (literals included in the signature) and the
+        catalog's statistics, so their results are cached per signature
+        and revalidated against the per-table stats versions of the
+        query's tables -- the exact inputs the crude formulas read.
+        The ``u`` indicator (plan actually used the index) is applied
+        *outside* the memo, so credited gains are bit-identical to the
+        unmemoized loop.  Used by the batched replay driver; plain
+        tuners keep the original per-query computation.
+        """
+        self._interner = interner
+        self._crude_memo.clear()
 
     def __len__(self) -> int:
         return len(self._stats)
@@ -116,7 +136,7 @@ class CandidateTracker:
         used = set(used_indexes)
         mat = set(materialized)
         credited: List[Tuple[IndexDef, float]] = []
-        for index in self._mined_indexes(query):
+        for index, crude in self._mined_with_crude(query):
             stats = self._stats.get((index.table, index.columns))
             if stats is None:
                 stats = CandidateStats(index, self._history, self._smoothing)
@@ -125,12 +145,47 @@ class CandidateTracker:
                 u = 0.0  # the optimizer had it and chose not to use it
             else:
                 u = 1.0  # optimistic prediction, per the paper
-            gain = u * crude_index_delta_cost(
-                self._catalog, index, query.filters_on(index.table)
-            )
+            gain = u * crude
             stats.add_gain(gain)
             credited.append((index, gain))
         return credited
+
+    def _mined_with_crude(self, query: Query) -> List[Tuple[IndexDef, float]]:
+        """``(candidate, crude delta cost)`` pairs for one query.
+
+        With an interner attached (see :meth:`use_interner`) the pairs
+        are served from a signature-keyed memo validated against the
+        stats versions of the query's tables; otherwise they are
+        computed fresh, exactly as before.
+        """
+        if self._interner is None:
+            return [
+                (
+                    index,
+                    crude_index_delta_cost(
+                        self._catalog, index, query.filters_on(index.table)
+                    ),
+                )
+                for index in self._mined_indexes(query)
+            ]
+        _, sig_index = self._interner.signature_index(query)
+        versions = tuple(
+            self._catalog.stats_version(t) for t in query.tables
+        )
+        cached = self._crude_memo.get(sig_index)
+        if cached is not None and cached[0] == versions:
+            return cached[1]
+        pairs = [
+            (
+                index,
+                crude_index_delta_cost(
+                    self._catalog, index, query.filters_on(index.table)
+                ),
+            )
+            for index in self._mined_indexes(query)
+        ]
+        self._crude_memo[sig_index] = (versions, pairs)
+        return pairs
 
     def _mined_indexes(self, query: Query) -> List[IndexDef]:
         """Candidate indexes this query suggests (singles, then pairs)."""

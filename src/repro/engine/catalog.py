@@ -104,6 +104,7 @@ class Catalog:
         self._materialized: Dict[Tuple[str, Tuple[str, ...]], IndexDef] = {}
         self._views: Dict[str, object] = {}
         self._stats_versions: Dict[str, int] = {}
+        self._generation: int = 0
 
     # ------------------------------------------------------------------
     # Tables and columns
@@ -153,6 +154,7 @@ class Catalog:
             raise KeyError(f"no column {column!r} in table {table!r}")
         self._stats[(table, column)] = stats
         self._stats_versions[table] = self._stats_versions.get(table, 0) + 1
+        self._generation += 1
 
     def stats(self, table: str, column: str) -> ColumnStats:
         """Statistics for a column, falling back to type defaults."""
@@ -175,6 +177,21 @@ class Catalog:
         """
         return self._stats_versions.get(table, 0)
 
+    @property
+    def generation(self) -> int:
+        """Catalog-wide monotone counter over every optimizer-visible
+        mutation.
+
+        Bumped by each per-table stats bump *and* by every
+        materialization change (index or view create/drop).  An
+        unchanged generation therefore proves the optimizer would see
+        an identical catalog, which is what lets batch-level memos
+        (:class:`repro.core.batching.BatchedPricer`) validate a hit
+        with one integer compare instead of recomputing the relevant
+        configuration and per-table stats tokens on every lookup.
+        """
+        return self._generation
+
     def bump_stats_version(self, table: str) -> int:
         """Mark a table's statistics as changed; returns the new version.
 
@@ -184,6 +201,7 @@ class Catalog:
         self.table(table)
         version = self._stats_versions.get(table, 0) + 1
         self._stats_versions[table] = version
+        self._generation += 1
         return version
 
     def apply_row_delta(self, table: str, delta: float) -> float:
@@ -247,10 +265,12 @@ class Catalog:
     def materialize_index(self, index: IndexDef) -> None:
         """Mark an index as materialized (usable by the optimizer)."""
         self._materialized[(index.table, index.columns)] = index
+        self._generation += 1
 
     def drop_index(self, index: IndexDef) -> None:
         """Remove an index from the materialized set (no-op if absent)."""
-        self._materialized.pop((index.table, index.columns), None)
+        if self._materialized.pop((index.table, index.columns), None) is not None:
+            self._generation += 1
 
     def is_materialized(self, index: IndexDef) -> bool:
         """Whether this index is currently materialized."""
@@ -291,10 +311,12 @@ class Catalog:
         if existing is not None and existing != view:
             raise ValueError(f"view {view.name!r} already exists")
         self._views[view.name] = view
+        self._generation += 1
 
     def drop_view(self, view) -> None:
         """Remove a materialized view (no-op if absent)."""
-        self._views.pop(view.name, None)
+        if self._views.pop(view.name, None) is not None:
+            self._generation += 1
 
     def materialized_views(self, table: Optional[str] = None) -> List:
         """Registered views, optionally restricted to one base table."""

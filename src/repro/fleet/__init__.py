@@ -18,6 +18,9 @@ Components:
   breaker-open replicas, restores recovered ones, and rebalances
   affinity routes.
 * ``snapshots``   -- atomic per-replica + fleet-manifest persistence.
+* ``workers``     -- the multiprocess coordinator
+  (``FleetCoordinator(..., workers=N)``): one worker process per
+  replica, bit-identical decisions, crash-safe epoch barriers.
 
 See ``docs/FLEET.md`` for the design discussion.
 """
@@ -43,6 +46,7 @@ from repro.fleet.snapshots import (
     save_fleet,
     snapshot_fleet,
 )
+from repro.fleet.workers import WorkerCrash, WorkerFleetCoordinator
 
 __all__ = [
     "AffinityRouter",
@@ -56,6 +60,8 @@ __all__ = [
     "RoundRobinRouter",
     "Router",
     "TunerReplica",
+    "WorkerCrash",
+    "WorkerFleetCoordinator",
     "load_manifest",
     "make_router",
     "restore_fleet",

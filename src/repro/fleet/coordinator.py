@@ -39,6 +39,7 @@ from repro.obs.names import (
     FLEET_METRICS,
     GUARDRAIL_METRICS,
     PROFILER_METRICS,
+    REPLAY_METRICS,
     TUNER_METRICS,
 )
 from repro.obs.registry import MetricsRegistry, merge_snapshots
@@ -222,12 +223,31 @@ class FleetCoordinator:
         backend_factory: Optional callable ``catalog -> Backend``
             giving each replica its DBMS backend (defaults to the local
             in-python engine).
+        workers: When positive, replicas run in that many worker
+            *processes* instead of in-process: construction returns a
+            :class:`~repro.fleet.workers.WorkerFleetCoordinator` (same
+            run/reorganize surface, N cores, bit-identical decisions --
+            see ``repro/fleet/workers.py`` for the supported subset of
+            fleet features).  0 (the default) keeps everything in this
+            process.
 
     Attributes:
         tracer: Span tracer timing fleet reorganizations.
         rollout: The staged-rollout controller (None without
             guardrails).
     """
+
+    def __new__(cls, *args, workers: int = 0, **kwargs):
+        # `FleetCoordinator(..., workers=N)` is the documented front
+        # door for the multiprocess fleet; dispatch to the worker
+        # subclass here so callers never import it directly.  Plain
+        # construction (and `adopt`'s bare `cls.__new__(cls)`) is
+        # untouched, as is any explicit subclass.
+        if workers and cls is FleetCoordinator:
+            from repro.fleet.workers import WorkerFleetCoordinator
+
+            return super().__new__(WorkerFleetCoordinator)
+        return super().__new__(cls)
 
     def __init__(
         self,
@@ -244,7 +264,17 @@ class FleetCoordinator:
         advice: Optional[AdviceBook] = None,
         engine: str = "colt",
         backend_factory=None,
+        workers: int = 0,
     ) -> None:
+        if workers:
+            # Reaching here with workers > 0 means __new__ did not
+            # dispatch (an explicit subclass): fail loudly rather than
+            # silently running single-process.
+            raise ValueError(
+                "workers > 0 requires the multiprocess coordinator; "
+                "construct FleetCoordinator(..., workers=N) directly or "
+                "use repro.fleet.workers.WorkerFleetCoordinator"
+            )
         if n_replicas < 1:
             raise ValueError("n_replicas must be positive")
         if fleet_epoch_length < 1:
@@ -374,9 +404,15 @@ class FleetCoordinator:
         for spec in GUARDRAIL_METRICS.values():
             spec.build(self.registry)
         # Likewise for the engine-specific families (COLT's and the
-        # bandit's): a fleet may mix engines or run only one, but the
-        # export contract stays engine-agnostic either way.
-        for catalog in (TUNER_METRICS, PROFILER_METRICS, BANDIT_METRICS):
+        # bandit's) and the throughput serving path's: a fleet may mix
+        # engines, run single-process or with workers, but the export
+        # contract stays configuration-agnostic either way.
+        for catalog in (
+            TUNER_METRICS,
+            PROFILER_METRICS,
+            BANDIT_METRICS,
+            REPLAY_METRICS,
+        ):
             for spec in catalog.values():
                 spec.build(self.registry)
         self._sync_health()

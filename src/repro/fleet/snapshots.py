@@ -45,6 +45,22 @@ def _replica_file(replica_id: int) -> str:
     return f"replica-{replica_id}.json"
 
 
+def _collect_replica_snapshots(coordinator: FleetCoordinator) -> List[Dict]:
+    """Per-replica snapshots from wherever the replicas live.
+
+    A multiprocess coordinator exposes ``replica_snapshots()`` (workers
+    serialize their own tuners and ship the payloads over the pipe);
+    the in-process fleet snapshots its tuners directly.  Both produce
+    the same :func:`repro.persist.snapshot_any` payloads, so one
+    manifest format serves both and a worker-fleet snapshot restores
+    into a serial coordinator.
+    """
+    fetch = getattr(coordinator, "replica_snapshots", None)
+    if fetch is not None:
+        return fetch()
+    return [snapshot_any(r.tuner) for r in coordinator.replicas]
+
+
 def snapshot_fleet(
     coordinator: FleetCoordinator,
     replica_snapshots: Optional[List[Dict]] = None,
@@ -58,9 +74,7 @@ def snapshot_fleet(
             computed on the fly when omitted.
     """
     if replica_snapshots is None:
-        replica_snapshots = [
-            snapshot_any(r.tuner) for r in coordinator.replicas
-        ]
+        replica_snapshots = _collect_replica_snapshots(coordinator)
     entries = []
     for replica, snap in zip(coordinator.replicas, replica_snapshots):
         entries.append(
@@ -103,7 +117,7 @@ def save_fleet(
     """
     root = pathlib.Path(directory)
     root.mkdir(parents=True, exist_ok=True)
-    snapshots = [snapshot_any(r.tuner) for r in coordinator.replicas]
+    snapshots = _collect_replica_snapshots(coordinator)
     for replica, snap in zip(coordinator.replicas, snapshots):
         save_json(root / _replica_file(replica.replica_id), snap)
     manifest = snapshot_fleet(coordinator, replica_snapshots=snapshots)

@@ -1,0 +1,791 @@
+"""Multiprocess fleet: one worker process per replica, N replicas on N cores.
+
+``FleetCoordinator(..., workers=N)`` constructs a
+:class:`WorkerFleetCoordinator`: the routing brain (router, fleet
+epochs, drain/restore/rebalance, metrics) stays in the parent process,
+while every :class:`~repro.fleet.replica.TunerReplica` -- catalog,
+tuner, breaker, gain cache -- lives in its own worker process behind a
+``multiprocessing.Pipe``.  The parent never holds tuner state, so the
+whole exchange is message passing over two channels:
+
+* **downstream commands** -- per fleet epoch the parent routes the
+  chunk's arrivals (routing is outcome-independent: it depends only on
+  the query stream and the drain set, both parent-side), then ships
+  each replica *its exact serial event sequence* -- ``process`` events
+  for queries routed to it interleaved with ``tick`` events for the
+  arrivals it sat out while drained.  Because per-replica decision
+  state only observes that per-replica sequence, every worker's
+  decision stream is bit-identical to the single-process fleet's; the
+  parity test diffs the full epoch traces to prove it.
+* **upstream state** -- workers reply with slim outcome records plus a
+  status line (breaker state, materialized set, totals); durable state
+  crosses as the very same ``repro.persist`` snapshots the serial
+  fleet writes, so ``save_fleet`` on a worker fleet produces the
+  standard atomic manifest and ``restore_fleet`` of it yields a serial
+  coordinator.
+
+Crash safety: replies are collected with ``poll`` + ``is_alive`` (never
+a blocking ``recv``), so a worker dying mid-epoch surfaces immediately
+instead of hanging the epoch barrier.  The parent trips the replica's
+stand-in circuit breaker (:meth:`~repro.resilience.breaker.
+CircuitBreaker.trip`), records the chunk's unacknowledged queries as
+failed outcomes (or raises, under ``on_error="raise"``), and the next
+reorganization drains the replica and reassigns its sticky keys through
+the ordinary drain path.  A crashed replica is never ticked -- a dead
+process cannot recover, so its breaker stays OPEN and the replica stays
+out of the rotation for good.
+
+Deliberately unsupported with workers (ValueError at construction):
+cost-based routing (probes replica state synchronously per arrival),
+guardrail managers/advice and staged rollout (verification hooks into
+the per-query path), and injected breakers/fault injectors (those
+objects live in the worker; use the worker crash hook to test failure
+paths).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+import types
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.colt import QueryOutcome
+from repro.core.config import ColtConfig
+from repro.fleet.coordinator import (
+    CatalogFactory,
+    FleetCoordinator,
+    FleetOutcome,
+    FleetReorganizationResult,
+    FleetRun,
+)
+from repro.fleet.replica import ReplicaHealth, ReplicaStats, TunerReplica
+from repro.fleet.router import (
+    DEFAULT_PROBE_BUDGET,
+    CostBasedRouter,
+    make_router,
+)
+from repro.obs.export import build_snapshot
+from repro.obs.names import REPLAY_METRICS
+from repro.obs.quantiles import merge_histogram_samples, summarize_sample
+from repro.obs.registry import MetricsRegistry, merge_snapshots
+from repro.obs.spans import merge_span_summaries
+from repro.resilience.breaker import BreakerState, CircuitBreaker
+from repro.sql.ast import Query
+from repro.workload.phases import Workload
+
+__all__ = ["WorkerCrash", "WorkerFleetCoordinator", "WorkerHandle"]
+
+#: Seconds between liveness checks while waiting on a worker reply.
+_POLL_INTERVAL = 0.05
+
+
+def _mp_context():
+    """Fork when the platform has it (fast, nothing re-imports); default
+    context otherwise -- all worker arguments are picklable either way."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+def _slim_outcome(outcome: QueryOutcome) -> Tuple:
+    """The picklable subset of a QueryOutcome (plans stay in the worker).
+
+    A flat tuple, not a dict: replies carry one per query and the
+    parent's chunk barrier deserializes them on the critical path.
+    """
+    return (
+        outcome.index,
+        outcome.execution_cost,
+        outcome.whatif_calls,
+        outcome.whatif_overhead,
+        outcome.build_cost,
+        outcome.total_cost,
+        outcome.verify_calls,
+        outcome.verify_overhead,
+        outcome.epoch_ended,
+        repr(outcome.error) if outcome.error is not None else None,
+    )
+
+
+def _inflate_outcome(slim: Tuple) -> QueryOutcome:
+    return QueryOutcome(
+        index=slim[0],
+        execution_cost=slim[1],
+        whatif_calls=slim[2],
+        whatif_overhead=slim[3],
+        build_cost=slim[4],
+        total_cost=slim[5],
+        plan=None,
+        verify_calls=slim[6],
+        verify_overhead=slim[7],
+        epoch_ended=slim[8],
+        reorganization=None,
+        error=RuntimeError(slim[9]) if slim[9] else None,
+    )
+
+
+def _status(replica: TunerReplica) -> Dict:
+    return {
+        "breaker_state": replica.breaker.state.value,
+        "queries": replica.stats.queries,
+        "execution_cost": replica.stats.execution_cost,
+        "total_cost": replica.stats.total_cost,
+        "failed": replica.stats.failed,
+        "materialized": replica.materialized_names,
+        "quarantined": replica.quarantined_names,
+        "config_version": replica.config_version,
+    }
+
+
+def _worker_main(
+    conn,
+    replica_id: int,
+    catalog_factory: CatalogFactory,
+    config: Optional[ColtConfig],
+    engine: str,
+    backend_factory,
+    metrics_enabled: bool,
+    crash_after: Optional[int],
+) -> None:
+    """Worker process entry point: build one replica, serve commands.
+
+    ``crash_after`` is the failure-injection hook for crash tests: the
+    process hard-exits (``os._exit``, no cleanup, pipe left dangling --
+    the shape of a real OOM kill) before processing query number
+    ``crash_after + 1``.
+    """
+    registry = MetricsRegistry(enabled=metrics_enabled)
+    replica = TunerReplica(
+        replica_id,
+        catalog_factory(),
+        config,
+        registry=registry,
+        engine=engine,
+        backend_factory=backend_factory,
+    )
+    # Latency observations stay on regardless of the replica metrics
+    # switch: the replay driver needs worker-side percentiles even when
+    # the fleet runs with instrumentation off for throughput.
+    latency = REPLAY_METRICS["replay_query_latency_seconds"].build(
+        MetricsRegistry()
+    )
+    # Replayed streams cycle a bounded set of distinct queries; the
+    # parent ships each one exactly once and then references it by key,
+    # so steady-state batch messages carry small integers, not ASTs.
+    queries: Dict[int, Query] = {}
+    perf = time.perf_counter
+    processed = 0
+    while True:
+        command = conn.recv()
+        op = command[0]
+        try:
+            if op == "batch":
+                events, on_error = command[1], command[2]
+                outcomes: List[Tuple] = []
+                for event in events:
+                    if event[0] == "q":
+                        if crash_after is not None and processed >= crash_after:
+                            os._exit(1)
+                        key, payload = event[1], event[2]
+                        if payload is not None:
+                            queries[key] = payload
+                        t0 = perf()
+                        outcome = replica.process(
+                            queries[key], on_error=on_error
+                        )
+                        latency.observe(perf() - t0)
+                        processed += 1
+                        outcomes.append(_slim_outcome(outcome))
+                    else:  # ("t",) -- idle tick while drained
+                        replica.idle_tick()
+                conn.send(("ok", outcomes, _status(replica)))
+            elif op == "status":
+                conn.send(("ok", None, _status(replica)))
+            elif op == "clear_cache":
+                replica.tuner.profiler.gain_cache.clear(reason=command[1])
+                conn.send(("ok", None, _status(replica)))
+            elif op == "latency":
+                conn.send(("ok", latency.samples(), _status(replica)))
+            elif op == "metrics":
+                payload = {
+                    "registry": registry.snapshot(),
+                    "overhead": replica.tuner.dashboard.to_rows(),
+                    "spans": replica.tuner.tracer.summary(),
+                }
+                conn.send(("ok", payload, _status(replica)))
+            elif op == "trace":
+                conn.send(("ok", replica.trace().to_json(), _status(replica)))
+            elif op == "snapshot":
+                from repro.persist import snapshot_any
+
+                conn.send(("ok", snapshot_any(replica.tuner), _status(replica)))
+            elif op == "stop":
+                conn.send(("ok", None, None))
+                conn.close()
+                return
+            else:  # pragma: no cover - protocol bug
+                conn.send(("error", f"unknown worker command {op!r}"))
+        except Exception as exc:  # propagate to the parent, stay alive
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+
+
+class WorkerCrash(RuntimeError):
+    """A worker process died while the coordinator waited on it."""
+
+
+class _RemoteGainCache:
+    """Stand-in for ``replica.tuner.profiler.gain_cache`` in the parent."""
+
+    def __init__(self, handle: "WorkerHandle") -> None:
+        self._handle = handle
+
+    def clear(self, reason: str = "manual") -> None:
+        if not self._handle.crashed:
+            self._handle.request(("clear_cache", reason))
+
+
+class _RemoteProfiler:
+    def __init__(self, handle: "WorkerHandle") -> None:
+        self.gain_cache = _RemoteGainCache(handle)
+
+
+class _RemoteTuner:
+    """The thin slice of the tuner surface fleet reorganization touches."""
+
+    def __init__(self, handle: "WorkerHandle") -> None:
+        self.profiler = _RemoteProfiler(handle)
+
+
+class WorkerHandle:
+    """Parent-side proxy for one replica living in a worker process.
+
+    Duck-types the coordinator-facing surface of
+    :class:`~repro.fleet.replica.TunerReplica` (``health``, ``breaker``,
+    ``stats``, ``materialized_names``, ``quarantined_names``,
+    ``tuner.profiler.gain_cache.clear``) from the worker's last reported
+    status, so the inherited reorganization logic runs unchanged.
+
+    The ``breaker`` attribute is a real parent-side
+    :class:`~repro.resilience.breaker.CircuitBreaker` that exists solely
+    to represent a *crashed* worker: :meth:`mark_crashed` trips it, it
+    is never ticked, and so a dead replica reads DRAINED forever.  While
+    the worker lives, health comes from the worker's own breaker state
+    as of its last status message.
+    """
+
+    def __init__(self, replica_id: int, conn, process, timeout: float) -> None:
+        self.replica_id = replica_id
+        self.conn = conn
+        self.process = process
+        self.timeout = timeout
+        self.crashed = False
+        self.crash_breaker = CircuitBreaker()
+        self.stats = ReplicaStats()
+        self.tuner = _RemoteTuner(self)
+        self._remote_state = BreakerState.CLOSED
+        self._materialized: List[str] = []
+        self._quarantined: List[str] = []
+        self.config_version = 0
+        self.on_crash = None  # set by the coordinator
+        # Query interning over the pipe: ship each distinct query object
+        # once, then reference it by key.  Strong refs guard the id()
+        # fast path against id reuse (same discipline as the
+        # SignatureInterner in repro.core.batching).
+        self._query_keys: Dict[int, int] = {}
+        self._query_refs: List[Query] = []
+
+    def encode_query(self, query: Query) -> Tuple:
+        """The batch event for ``query``: full AST on first send, a
+        small interned key afterwards."""
+        key = self._query_keys.get(id(query))
+        if key is not None:
+            return ("q", key, None)
+        key = len(self._query_refs)
+        self._query_keys[id(query)] = key
+        self._query_refs.append(query)
+        return ("q", key, query)
+
+    # -- TunerReplica-facing surface -----------------------------------
+    @property
+    def health(self) -> ReplicaHealth:
+        if self.crashed:
+            return ReplicaHealth.DRAINED
+        return ReplicaHealth.from_breaker(self._remote_state)
+
+    @property
+    def breaker(self):
+        return types.SimpleNamespace(
+            state=self.crash_breaker.state if self.crashed else self._remote_state
+        )
+
+    @property
+    def materialized_names(self) -> List[str]:
+        return list(self._materialized)
+
+    @property
+    def quarantined_names(self) -> List[str]:
+        return list(self._quarantined)
+
+    # -- protocol ------------------------------------------------------
+    def apply_status(self, status: Optional[Dict]) -> None:
+        """Adopt a worker-reported status dict (piggybacked on replies)."""
+        if not status:
+            return
+        self._remote_state = BreakerState(status["breaker_state"])
+        self.stats = ReplicaStats(
+            queries=status["queries"],
+            execution_cost=status["execution_cost"],
+            total_cost=status["total_cost"],
+            failed=status["failed"],
+        )
+        self._materialized = status["materialized"]
+        self._quarantined = status["quarantined"]
+        self.config_version = status["config_version"]
+
+    def mark_crashed(self) -> None:
+        """Record the worker as dead and trip the crash breaker (once)."""
+        if self.crashed:
+            return
+        self.crashed = True
+        # Failure evidence from outside the probe path: force the
+        # stand-in breaker OPEN so the drain machinery sees it.
+        self.crash_breaker.trip()
+        if self.on_crash is not None:
+            self.on_crash(self)
+
+    def send(self, command: Tuple) -> bool:
+        """Ship a command; False (after crash-marking) when the worker
+        is already gone."""
+        if self.crashed:
+            return False
+        try:
+            self.conn.send(command)
+            return True
+        except (BrokenPipeError, OSError):
+            self.mark_crashed()
+            return False
+
+    def receive(self):
+        """Collect one reply without ever blocking on a dead worker.
+
+        Polls the pipe in short intervals, checking process liveness
+        between polls -- the fix for the epoch-barrier deadlock: a
+        blocking ``recv`` on a crashed worker's pipe would wait forever.
+
+        Returns the reply payload, applying the piggybacked status;
+        returns None when the worker crashed (marking it) or timed out.
+        """
+        deadline = time.monotonic() + self.timeout
+        while True:
+            try:
+                if self.conn.poll(_POLL_INTERVAL):
+                    kind, payload, status = self.conn.recv()
+                    if kind == "error":
+                        raise RuntimeError(
+                            f"replica {self.replica_id} worker error: {payload}"
+                        )
+                    self.apply_status(status)
+                    return payload
+            except (EOFError, BrokenPipeError, OSError):
+                self.mark_crashed()
+                return None
+            if not self.process.is_alive():
+                self.mark_crashed()
+                return None
+            if time.monotonic() > deadline:
+                # A live-but-wedged worker would stall every future
+                # epoch; treat it exactly like a crash.
+                self.process.terminate()
+                self.mark_crashed()
+                return None
+
+    def request(self, command: Tuple):
+        """Send a command and collect its reply (None on a dead worker)."""
+        if not self.send(command):
+            return None
+        return self.receive()
+
+    def close(self) -> None:
+        """Ask the worker to stop, then close the pipe and join (idempotent)."""
+        if not self.crashed and self.process.is_alive():
+            try:
+                self.conn.send(("stop",))
+                self.conn.poll(1.0) and self.conn.recv()
+            except (BrokenPipeError, OSError, EOFError):
+                pass
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+        self.process.join(timeout=5.0)
+        if self.process.is_alive():  # pragma: no cover - wedged worker
+            self.process.terminate()
+            self.process.join(timeout=5.0)
+
+
+class WorkerFleetCoordinator(FleetCoordinator):
+    """A fleet whose replicas run in worker processes, one per core.
+
+    Constructed through the front door --
+    ``FleetCoordinator(..., workers=N)`` -- and presenting the same
+    ``run`` / ``reorganize`` / ``metrics_snapshot`` surface.  ``workers``
+    is the fleet size: one process per replica (``n_replicas`` is
+    overridden).  Use as a context manager, or call :meth:`close`, to
+    shut the workers down.
+
+    Extra args over the base coordinator:
+        worker_timeout: Seconds to wait for any single worker reply
+            before the worker is declared dead.
+        _crash_plan: Test hook -- ``{replica_id: n}`` hard-kills that
+            replica's process before it serves query ``n + 1``.
+    """
+
+    is_multiprocess = True
+
+    def __init__(
+        self,
+        catalog_factory: CatalogFactory,
+        n_replicas: int = 3,
+        config: Optional[ColtConfig] = None,
+        policy: str = "affinity",
+        fleet_epoch_length: int = 50,
+        probe_budget: int = DEFAULT_PROBE_BUDGET,
+        breakers=None,
+        fault_injectors=None,
+        registry: Optional[MetricsRegistry] = None,
+        guardrails=None,
+        advice=None,
+        engine: str = "colt",
+        backend_factory=None,
+        workers: int = 0,
+        worker_timeout: float = 120.0,
+        _crash_plan: Optional[Dict[int, int]] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("WorkerFleetCoordinator requires workers >= 1")
+        if guardrails is not None or advice is not None:
+            raise ValueError(
+                "guardrails and advice are not supported with worker "
+                "processes (verification hooks into the per-query path); "
+                "run the single-process fleet for guardrail deployments"
+            )
+        if breakers is not None or fault_injectors is not None:
+            raise ValueError(
+                "breakers and fault injectors live inside the worker "
+                "process and cannot be injected from the parent; use the "
+                "worker crash hook to exercise failure paths"
+            )
+        if engine not in ("colt", "bandit"):
+            raise ValueError(
+                f"unknown fleet engine {engine!r} (expected 'colt' or 'bandit')"
+            )
+        if fleet_epoch_length < 1:
+            raise ValueError("fleet_epoch_length must be positive")
+        self.engine = engine
+        self.config = config or ColtConfig()
+        self.fleet_epoch_length = fleet_epoch_length
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.workers = workers
+        self.worker_timeout = worker_timeout
+        self.rollout = None
+        self._routing_catalog = catalog_factory()
+        # One process per replica: `workers` IS the fleet size.
+        self.router = make_router(
+            policy, workers, self._routing_catalog, probe_budget=probe_budget
+        )
+        if isinstance(self.router, CostBasedRouter):
+            raise ValueError(
+                "cost-based routing probes replica state synchronously per "
+                "arrival and is not supported with worker processes"
+            )
+        ctx = _mp_context()
+        self.replicas: List[WorkerHandle] = []
+        crash_plan = _crash_plan or {}
+        for i in range(workers):
+            parent_conn, child_conn = ctx.Pipe()
+            process = ctx.Process(
+                target=_worker_main,
+                args=(
+                    child_conn,
+                    i,
+                    catalog_factory,
+                    self.config,
+                    engine,
+                    backend_factory,
+                    self.registry.enabled,
+                    crash_plan.get(i),
+                ),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self.replicas.append(
+                WorkerHandle(i, parent_conn, process, worker_timeout)
+            )
+        self.queries_routed = 0
+        self.reorganizations: List[FleetReorganizationResult] = []
+        self._init_observability()
+        self._m_crashes = REPLAY_METRICS["replay_worker_crashes_total"].build(
+            self.registry
+        )
+        REPLAY_METRICS["replay_workers"].build(self.registry).set(workers)
+        for handle in self.replicas:
+            handle.on_crash = lambda h: self._m_crashes.inc()
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "WorkerFleetCoordinator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Stop every worker process (idempotent)."""
+        for handle in self.replicas:
+            handle.close()
+
+    def __del__(self):  # pragma: no cover - best effort
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    def process_query(self, query, client_id=None, on_error="raise"):
+        raise NotImplementedError(
+            "the multiprocess fleet batches arrivals per fleet epoch; "
+            "use run() (per-query dispatch would pay one IPC round trip "
+            "per arrival)"
+        )
+
+    def run(
+        self,
+        workload: Union[Workload, Sequence[Query]],
+        client_ids: Optional[Sequence[Optional[int]]] = None,
+        on_error: str = "raise",
+    ) -> FleetRun:
+        """Process a whole workload across the worker fleet.
+
+        Semantics match :meth:`FleetCoordinator.run` -- same routing,
+        same fleet-epoch reorganizations, bit-identical per-replica
+        decisions -- with arrivals shipped to workers one fleet epoch
+        at a time.  Outcomes carry no plans (plans stay worker-side)
+        and, under ``on_error="skip"``, a crashed worker's
+        unacknowledged chunk queries come back as failed outcomes.
+        """
+        if isinstance(workload, Workload):
+            queries: Sequence[Query] = workload.queries
+            if client_ids is None:
+                client_ids = workload.client_ids
+        else:
+            queries = workload
+
+        outcomes: List[FleetOutcome] = []
+        chunk: List[Tuple[int, Query, Optional[int]]] = []
+        for i, query in enumerate(queries):
+            chunk.append(
+                (i, query, client_ids[i] if client_ids is not None else None)
+            )
+            if len(chunk) == self.fleet_epoch_length:
+                outcomes.extend(self._run_chunk(chunk, on_error, full=True))
+                chunk = []
+        if chunk:
+            outcomes.extend(self._run_chunk(chunk, on_error, full=False))
+
+        return FleetRun(
+            outcomes=outcomes,
+            reorganizations=list(self.reorganizations),
+            replica_stats=[r.stats for r in self.replicas],
+            policy=self.policy,
+        )
+
+    def _run_chunk(
+        self,
+        chunk: List[Tuple[int, Query, Optional[int]]],
+        on_error: str,
+        full: bool,
+    ) -> List[FleetOutcome]:
+        """Route one fleet epoch's arrivals, dispatch, collect, reorganize.
+
+        Routing happens entirely parent-side, per arrival and in
+        arrival order, exactly as the serial coordinator would; each
+        replica then receives its own serial-order event sequence
+        (queries routed to it, interleaved with the idle ticks it would
+        have received while drained), so per-replica state evolves
+        identically to the single-process fleet.
+        """
+        events: Dict[int, List[Tuple]] = {h.replica_id: [] for h in self.replicas}
+        arrivals: List[Tuple[int, int]] = []  # (global index, replica id)
+        drained = set(self.router.drained)
+        for index, query, client_id in chunk:
+            route = self.router.route(query, client_id)
+            events[route.replica_id].append(
+                self.replicas[route.replica_id].encode_query(query)
+            )
+            arrivals.append((index, route.replica_id))
+            self._m_routed.inc(1, replica=route.replica_id)
+            self._m_probes.inc(route.probes)
+            for drained_id in drained:
+                if (
+                    drained_id != route.replica_id
+                    and not self.replicas[drained_id].crashed
+                ):
+                    events[drained_id].append(("t",))
+            self.queries_routed += 1
+
+        # Dispatch everything, then collect: workers run concurrently.
+        dispatched: List[WorkerHandle] = []
+        for handle in self.replicas:
+            batch = events[handle.replica_id]
+            if batch and handle.send(("batch", batch, on_error)):
+                dispatched.append(handle)
+        replies: Dict[int, List[Dict]] = {}
+        for handle in dispatched:
+            payload = handle.receive()
+            if payload is not None:
+                replies[handle.replica_id] = list(payload)
+
+        fleet_outcomes: List[FleetOutcome] = []
+        for index, replica_id in arrivals:
+            handle = self.replicas[replica_id]
+            slim_list = replies.get(replica_id)
+            if slim_list:
+                outcome = _inflate_outcome(slim_list.pop(0))
+            else:
+                # The worker died before acknowledging this chunk; no
+                # reply means no per-query records, so every arrival
+                # routed to it this epoch is accounted as failed.
+                if on_error != "skip":
+                    raise WorkerCrash(
+                        f"replica {replica_id} worker crashed mid-epoch "
+                        f"(query {index}); rerun with on_error='skip' to "
+                        "keep serving through crashes"
+                    )
+                outcome = QueryOutcome(
+                    index=-1,
+                    execution_cost=0.0,
+                    whatif_calls=0,
+                    whatif_overhead=0.0,
+                    build_cost=0.0,
+                    total_cost=0.0,
+                    plan=None,
+                    error=WorkerCrash(
+                        f"replica {replica_id} worker crashed mid-epoch"
+                    ),
+                )
+                handle.stats.queries += 1
+                handle.stats.failed += 1
+            fleet_outcomes.append(
+                FleetOutcome(
+                    index=index,
+                    replica_id=replica_id,
+                    outcome=outcome,
+                    # The supported policies are probe-free.
+                    routing_overhead=0.0,
+                )
+            )
+        if full:
+            reorg = self.reorganize()
+            if fleet_outcomes:
+                fleet_outcomes[-1].reorganization = reorg
+        return fleet_outcomes
+
+    # ------------------------------------------------------------------
+    def reorganize(self) -> FleetReorganizationResult:
+        """Fleet reorganization over worker-reported state.
+
+        Refreshes each live worker's status first (batch replies
+        piggyback status, so this is usually a no-op refresh), then runs
+        the inherited drain/restore/rebalance logic against the handles'
+        duck-typed replica surface.  Gain-cache clears on reassignment
+        travel to the workers as ``clear_cache`` commands.
+        """
+        for handle in self.replicas:
+            if not handle.crashed:
+                handle.request(("status",))
+        return super().reorganize()
+
+    # ------------------------------------------------------------------
+    def replica_snapshots(self) -> List[Dict]:
+        """Per-replica durable snapshots, fetched from the workers.
+
+        Same payloads :func:`repro.persist.snapshot_any` produces in
+        process, so ``save_fleet`` writes the standard atomic manifest.
+
+        Raises:
+            WorkerCrash: when any replica's worker is gone -- a partial
+                fleet snapshot would restore into a silently smaller
+                fleet.
+        """
+        snapshots: List[Dict] = []
+        for handle in self.replicas:
+            snap = handle.request(("snapshot",))
+            if snap is None:
+                raise WorkerCrash(
+                    f"replica {handle.replica_id} worker is gone; cannot "
+                    "snapshot a partial fleet"
+                )
+            snapshots.append(snap)
+        return snapshots
+
+    def replica_traces(self) -> List[Dict]:
+        """Every live replica's decision trace (JSON dict), by replica id."""
+        traces = []
+        for handle in self.replicas:
+            payload = handle.request(("trace",))
+            if payload is not None:
+                traces.append(json.loads(payload))
+        return traces
+
+    def latency_summary(self) -> Dict[str, Optional[float]]:
+        """Fleet-wide per-query latency percentiles.
+
+        Raw samples never cross the process boundary: each worker
+        exports its ``replay_query_latency_seconds`` bucket counts and
+        the parent merges them (bucket-count merging is associative --
+        the obs quantile tests prove it) before reading percentiles.
+        """
+        samples = []
+        for handle in self.replicas:
+            if handle.crashed:
+                continue
+            payload = handle.request(("latency",))
+            if payload:
+                samples.extend(payload)
+        if not samples:
+            return summarize_sample({"count": 0, "sum": 0.0, "buckets": {}})
+        return summarize_sample(merge_histogram_samples(samples))
+
+    def metrics_snapshot(self) -> Dict:
+        """Merged fleet + per-worker metrics snapshot.
+
+        Same shape as the serial coordinator's: worker samples gain a
+        ``replica`` label, overhead rows a ``replica`` key, span
+        summaries merge.  Crashed workers contribute nothing beyond
+        what the fleet-level registry already recorded about them.
+        """
+        parts = [(self.registry.snapshot(), {})]
+        overhead: List[Dict] = []
+        summaries = [self.tracer.summary()]
+        for handle in self.replicas:
+            if handle.crashed:
+                continue
+            payload = handle.request(("metrics",))
+            if payload is None:
+                continue
+            parts.append(
+                (payload["registry"], {"replica": str(handle.replica_id)})
+            )
+            for row in payload["overhead"]:
+                row["replica"] = handle.replica_id
+                overhead.append(row)
+            summaries.append(payload["spans"])
+        return build_snapshot(
+            merge_snapshots(parts),
+            overhead=overhead,
+            spans=merge_span_summaries(summaries),
+        )

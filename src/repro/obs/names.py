@@ -19,6 +19,7 @@ from typing import Dict, Optional, Tuple, Union
 
 from repro.obs.registry import (
     COST_BUCKETS,
+    LATENCY_BUCKETS,
     SECONDS_BUCKETS,
     Counter,
     Gauge,
@@ -217,6 +218,49 @@ BACKEND_METRICS = _catalog(
     ),
 )
 
+#: Families emitted by the throughput serving path: the replay driver
+#: (:mod:`repro.bench.replay`), the batched pricer
+#: (:class:`~repro.core.batching.BatchedPricer`), and the multiprocess
+#: fleet (:mod:`repro.fleet.workers`).
+REPLAY_METRICS = _catalog(
+    MetricSpec(
+        "replay_queries_total",
+        "counter",
+        "Queries replayed through the throughput driver.",
+    ),
+    MetricSpec(
+        "replay_batches_total",
+        "counter",
+        "Hot-path batches dispatched by the replay driver.",
+    ),
+    MetricSpec(
+        "replay_query_latency_seconds",
+        "histogram",
+        "Wall-clock per-query processing latency during replay.",
+        buckets=LATENCY_BUCKETS,
+    ),
+    MetricSpec(
+        "replay_batch_memo_hits_total",
+        "counter",
+        "Base optimizations served from the batched pricer's memo.",
+    ),
+    MetricSpec(
+        "replay_batch_memo_misses_total",
+        "counter",
+        "Base optimizations the batched pricer had to compute.",
+    ),
+    MetricSpec(
+        "replay_worker_crashes_total",
+        "counter",
+        "Worker processes lost mid-epoch by the multiprocess fleet.",
+    ),
+    MetricSpec(
+        "replay_workers",
+        "gauge",
+        "Worker processes currently attached to the fleet coordinator.",
+    ),
+)
+
 #: Every stable family, by name -- the contract the export must honour.
 CATALOG: Dict[str, MetricSpec] = {
     **TUNER_METRICS,
@@ -228,4 +272,5 @@ CATALOG: Dict[str, MetricSpec] = {
     **BANDIT_METRICS,
     **GUARDRAIL_METRICS,
     **BACKEND_METRICS,
+    **REPLAY_METRICS,
 }

@@ -45,6 +45,30 @@ SECONDS_BUCKETS = (
     1.0,
 )
 
+#: Fine-grained buckets for per-query replay latencies, in seconds.
+#: The serving hot path prices a query in well under a millisecond, so
+#: the ``SECONDS_BUCKETS`` floor (0.5 ms) would collapse every
+#: observation into one bucket and p50/p95/p99 would be meaningless;
+#: these extend three decades lower at the same ~2.5x spacing.
+LATENCY_BUCKETS = (
+    0.000_01,
+    0.000_025,
+    0.000_05,
+    0.000_1,
+    0.000_25,
+    0.000_5,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+)
+
 #: Default histogram buckets for optimizer cost units (wide, log-spaced).
 COST_BUCKETS = (
     1.0,

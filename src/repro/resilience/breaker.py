@@ -129,6 +129,23 @@ class CircuitBreaker:
             if self._consecutive_failures >= self.failure_threshold:
                 self._trip()
 
+    def trip(self) -> None:
+        """Force the breaker OPEN on failure evidence from outside the
+        probe path.
+
+        ``record_failure`` trips only after ``failure_threshold``
+        consecutive probe failures -- right for noisy probes, wrong for
+        a failure that is certain, such as the fleet coordinator finding
+        a replica's worker process dead: no probe will ever succeed, so
+        the breaker opens immediately.  Already-OPEN breakers restart
+        their cooldown.
+        """
+        self.total_failures += 1
+        if self.state is BreakerState.OPEN:
+            self._cooldown = 0
+        else:
+            self._trip()
+
     # ------------------------------------------------------------------
     def _trip(self) -> None:
         self.total_trips += 1

@@ -1,0 +1,175 @@
+"""Property tests for the batched hot path (hypothesis).
+
+The batched replay mode is only admissible because it is **decision
+preserving**: for *any* query stream and *any* batch split, the
+interner, the batch binder, and the :class:`BatchedPricer` memo must
+produce results element-wise identical to the per-query loop -- even
+with index materializations and statistics bumps interleaved between
+batches.  These properties let hypothesis hunt for a split or mutation
+schedule that breaks that, instead of trusting a few hand-picked cases.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backend.local import LocalBackend
+from repro.core.batching import BatchedPricer, SignatureInterner, bind_batch
+from repro.core.gaincache import query_signature
+from repro.sql.binder import bind_query
+from repro.workload.datagen import build_catalog
+from repro.workload.experiments import stable_distribution
+
+DIST = stable_distribution()
+
+
+def sample_queries(seed, n):
+    catalog = build_catalog()
+    rng = random.Random(seed)
+    return catalog, [DIST.sample(catalog, rng) for _ in range(n)]
+
+
+def split(items, cut_points):
+    """Partition ``items`` at the (possibly ragged) cut points."""
+    cuts = sorted({c % (len(items) + 1) for c in cut_points})
+    batches, last = [], 0
+    for cut in cuts:
+        if cut > last:
+            batches.append(items[last:cut])
+            last = cut
+    if last < len(items):
+        batches.append(items[last:])
+    return batches
+
+
+@st.composite
+def stream_and_split(draw):
+    seed = draw(st.integers(0, 10_000))
+    n = draw(st.integers(1, 24))
+    cuts = draw(st.lists(st.integers(0, 100), max_size=6))
+    # Repeat some queries (replay streams cycle), preserving identity.
+    repeats = draw(st.lists(st.integers(0, n - 1), max_size=8))
+    return seed, n, cuts, repeats
+
+
+class TestInterner:
+    @given(stream_and_split())
+    @settings(max_examples=50, deadline=None)
+    def test_never_conflates_and_never_splits(self, drawn):
+        seed, n, _, repeats = drawn
+        _, queries = sample_queries(seed, n)
+        queries = queries + [queries[i] for i in repeats]
+        interner = SignatureInterner()
+        results = [interner.signature_index(q) for q in queries]
+        for (sig_a, idx_a), qa in zip(results, queries):
+            # Ground truth is the raw structural signature (includes
+            # literals): the interner must agree with it exactly.
+            assert sig_a == query_signature(qa)
+            for (sig_b, idx_b), qb in zip(results, queries):
+                same = query_signature(qa) == query_signature(qb)
+                assert (sig_a is sig_b) == same  # interned to one object
+                assert (idx_a == idx_b) == same  # indices biject
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_indices_stable_and_fresh_after_clear(self, seed):
+        _, queries = sample_queries(seed, 8)
+        interner = SignatureInterner()
+        before = [interner.signature_index(q)[1] for q in queries]
+        # Stable: re-asking yields the same indices.
+        assert [interner.signature_index(q)[1] for q in queries] == before
+        interner.clear()
+        after = [interner.signature_index(q)[1] for q in queries]
+        # Fresh: post-clear indices never reuse pre-clear ones, so a
+        # consumer that kept an index-keyed memo across the clear can
+        # miss but never alias.
+        assert not (set(before) & set(after))
+
+
+class TestBindBatch:
+    @given(stream_and_split())
+    @settings(max_examples=25, deadline=None)
+    def test_equals_per_query_loop_for_any_split(self, drawn):
+        seed, n, cuts, repeats = drawn
+        catalog, queries = sample_queries(seed, n)
+        queries = queries + [queries[i] for i in repeats]
+        interner = SignatureInterner()
+        batched = []
+        for batch in split(queries, cuts):
+            batched.extend(bind_batch(batch, catalog, interner))
+        reference = [bind_query(q, catalog) for q in queries]
+        assert len(batched) == len(reference)
+        for got, want in zip(batched, reference):
+            assert query_signature(got) == query_signature(want)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_identical_structures_share_one_bound_object(self, seed):
+        catalog, queries = sample_queries(seed, 6)
+        doubled = queries + list(queries)
+        bound = bind_batch(doubled, catalog)
+        for i in range(len(queries)):
+            assert bound[i] is bound[i + len(queries)]
+
+
+class TestBatchedPricerParity:
+    @given(stream_and_split(), st.lists(st.integers(0, 3), max_size=4))
+    @settings(max_examples=20, deadline=None)
+    def test_sessions_identical_under_any_split_and_mutations(
+        self, drawn, mutations
+    ):
+        seed, n, cuts, repeats = drawn
+        catalog, queries = sample_queries(seed, n)
+        queries = queries + [queries[i] for i in repeats]
+        relevant = DIST.relevant_indexes(catalog)
+
+        inner = LocalBackend(catalog)
+        pricer = BatchedPricer(inner)
+        reference = LocalBackend(catalog)
+
+        batches = split(queries, cuts)
+        for b, batch in enumerate(batches):
+            # Interleave config/stats mutations between batches: the
+            # memo must revalidate, not serve stale bases.
+            if b < len(mutations):
+                op = mutations[b]
+                index = relevant[b % len(relevant)]
+                if op == 0:
+                    catalog.materialize_index(index)
+                elif op == 1:
+                    catalog.drop_index(index)
+                elif op == 2:
+                    catalog.bump_stats_version(index.table)
+                else:
+                    inner.simulate_index(index)
+                    reference.simulate_index(index)
+
+            sessions = pricer.begin_queries(batch)
+            for query, session in zip(batch, sessions):
+                want = reference.begin_query(query)
+                assert session.query is query
+                assert session.base.cost == want.base.cost
+                assert session.base.plan.indexes_used() == (
+                    want.base.plan.indexes_used()
+                )
+                # A what-if probe through the (possibly warmed) session
+                # prices exactly like a fresh one.
+                probe = frozenset(
+                    reference.current_config()
+                    | {relevant[b % len(relevant)]}
+                )
+                assert pricer.get_cost(
+                    query, config=probe, session=session
+                ) == reference.get_cost(query, config=probe, session=want)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_repeat_objects_hit_the_memo(self, seed):
+        catalog, queries = sample_queries(seed, 4)
+        pricer = BatchedPricer(LocalBackend(catalog))
+        pricer.begin_queries(queries)
+        misses = pricer.misses
+        pricer.begin_queries(queries)  # same objects, same config
+        assert pricer.misses == misses
+        assert pricer.hits >= len(queries)

@@ -1,0 +1,233 @@
+"""Replay-driver tests: stream semantics, decision parity, reports.
+
+The replay driver (``repro.bench.replay``) is a throughput benchmark,
+so its numbers only mean something if the *decisions* are mode-
+invariant: batched and fleet modes must spend exactly the same
+cost-model totals and what-if calls as the serial baseline.  These
+tests pin that anchor along with the stream's determinism and the
+``BENCH_throughput.json`` layout the CI gate consumes.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.replay import (
+    ReplayStream,
+    build_replay_tuner,
+    replay_fleet,
+    replay_serial,
+    write_throughput_report,
+)
+from repro.core.config import ColtConfig
+from repro.fleet import FleetCoordinator
+from repro.workload.phases import Workload
+
+from tests.fleet.workloads import (
+    build_small_catalog,
+    day_query,
+    eq_query,
+    score_query,
+)
+
+
+def mixed_queries(n):
+    makers = [eq_query, day_query, score_query]
+    return [makers[i % 3](8000 + i if i % 3 == 1 else i + 1) for i in range(n)]
+
+
+def make_config(**cfg):
+    cfg.setdefault("storage_budget_pages", 6000.0)
+    cfg.setdefault("min_history_epochs", 2)
+    return ColtConfig(**cfg)
+
+
+def make_stream(events=200, seed=3):
+    return ReplayStream(mixed_queries(30), events=events, seed=seed)
+
+
+class TestStream:
+    def test_same_seed_same_arrivals(self):
+        a = list(make_stream(seed=5))
+        b = list(make_stream(seed=5))
+        assert [e.timestamp for e in a] == [e.timestamp for e in b]
+        assert [e.index for e in a] == list(range(200))
+
+    def test_different_seed_different_timestamps(self):
+        a = list(make_stream(seed=5))
+        b = list(make_stream(seed=6))
+        assert [e.timestamp for e in a] != [e.timestamp for e in b]
+
+    def test_timestamps_are_monotone(self):
+        events = list(make_stream())
+        stamps = [e.timestamp for e in events]
+        assert stamps == sorted(stamps)
+        assert stamps[0] > 0
+
+    def test_cycling_reuses_query_objects(self):
+        queries = mixed_queries(10)
+        stream = ReplayStream(queries, events=25, seed=0)
+        events = list(stream)
+        assert len(events) == 25
+        # Identity, not just equality: the batched memos key on the
+        # interned signature of these exact objects.
+        assert events[13].query is queries[3]
+
+    def test_from_workload_carries_client_ids(self):
+        queries = mixed_queries(10)
+        workload = Workload(
+            queries=queries,
+            source=["x"] * 10,
+            description="tagged",
+            client_ids=[i % 2 for i in range(10)],
+        )
+        stream = ReplayStream.from_workload(workload, events=14)
+        events = list(stream)
+        assert [e.client_id for e in events[:4]] == [0, 1, 0, 1]
+        assert events[12].client_id == 0  # cycled with the queries
+
+    def test_chunks_cover_the_stream_in_order(self):
+        stream = make_stream(events=50)
+        chunks = list(stream.chunks(16))
+        assert [len(c) for c in chunks] == [16, 16, 16, 2]
+        flat = [e.index for chunk in chunks for e in chunk]
+        assert flat == list(range(50))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReplayStream([])
+        with pytest.raises(ValueError):
+            ReplayStream(mixed_queries(4), client_ids=[0])
+        with pytest.raises(ValueError):
+            ReplayStream(mixed_queries(4), arrival_rate=0.0)
+        with pytest.raises(ValueError):
+            ReplayStream(mixed_queries(4), events=0)
+        with pytest.raises(ValueError):
+            list(make_stream().chunks(0))
+
+
+class TestDecisionParity:
+    def test_batched_matches_serial_exactly(self):
+        stream = make_stream(events=300)
+        serial = replay_serial(
+            build_replay_tuner(build_small_catalog(), make_config()), stream
+        )
+        batched = replay_serial(
+            build_replay_tuner(
+                build_small_catalog(), make_config(), batched=True
+            ),
+            stream,
+            batch_size=32,
+        )
+        # The throughput numbers are only comparable because the
+        # decisions are bit-identical -- same cost-model total, same
+        # what-if ledger, nothing skipped.
+        assert batched.total_cost == serial.total_cost
+        assert batched.whatif_calls == serial.whatif_calls
+        assert batched.failed == serial.failed == 0
+        assert batched.events == serial.events == 300
+        assert batched.mode == "batched"
+        assert serial.mode == "serial"
+        # The batched hot path actually exercised its memo.
+        assert batched.detail["memo_hits"] > 0
+        assert batched.detail["memo_hits"] + batched.detail["memo_misses"] > 0
+
+    def test_latency_summary_is_populated(self):
+        report = replay_serial(
+            build_replay_tuner(build_small_catalog(), make_config()),
+            make_stream(events=100),
+        )
+        assert report.latency["count"] == 100
+        assert report.latency["p50"] is not None
+        assert report.latency["p50"] <= report.latency["p95"]
+        assert report.qps > 0
+        assert report.wall_seconds > 0
+
+    def test_fleet_serial_replay(self):
+        fleet = FleetCoordinator(
+            build_small_catalog,
+            n_replicas=2,
+            config=make_config(),
+            fleet_epoch_length=20,
+        )
+        report = replay_fleet(fleet, make_stream(events=100))
+        assert report.mode == "fleet-serial"
+        assert report.events == 100
+        assert report.detail["replicas"] == 2
+        assert report.total_cost > 0
+        assert report.failed == 0
+
+    def test_workers_replay_matches_fleet_serial_decisions(self):
+        stream = make_stream(events=100)
+        serial_fleet = FleetCoordinator(
+            build_small_catalog,
+            n_replicas=2,
+            config=make_config(),
+            fleet_epoch_length=20,
+        )
+        serial_report = replay_fleet(serial_fleet, stream)
+        with FleetCoordinator(
+            build_small_catalog,
+            config=make_config(),
+            fleet_epoch_length=20,
+            workers=2,
+        ) as fleet:
+            worker_report = replay_fleet(fleet, stream)
+            assert worker_report.mode == "workers"
+            assert worker_report.detail["workers"] == 2
+            assert worker_report.events == 100
+            # Same routing, same per-replica decisions: the cost-model
+            # anchors agree exactly with the single-process fleet.
+            assert worker_report.total_cost == serial_report.total_cost
+            assert worker_report.whatif_calls == serial_report.whatif_calls
+            assert worker_report.latency["count"] == 100
+
+
+class TestReportFile:
+    def test_layout_and_speedups(self, tmp_path):
+        stream = make_stream(events=60)
+        serial = replay_serial(
+            build_replay_tuner(build_small_catalog(), make_config()), stream
+        )
+        batched = replay_serial(
+            build_replay_tuner(
+                build_small_catalog(), make_config(), batched=True
+            ),
+            stream,
+            batch_size=16,
+        )
+        path = write_throughput_report(
+            tmp_path / "BENCH_throughput.json",
+            [serial, batched],
+            meta={"events": 60, "cpu_cores": 1},
+        )
+        report = json.loads(path.read_text())
+        assert report["benchmark"] == "replay-throughput"
+        assert report["meta"]["cpu_cores"] == 1
+        assert set(report["modes"]) == {"serial", "batched"}
+        assert report["speedups_vs_serial"]["serial"] == 1.0
+        expected = round(batched.qps / serial.qps, 3)
+        assert report["speedups_vs_serial"]["batched"] == expected
+        assert report["modes"]["batched"]["latency"]["p50"] is not None
+
+    def test_gate_script_accepts_report(self, tmp_path):
+        """The committed CI gate parses what the driver writes."""
+        import subprocess
+        import sys
+
+        stream = make_stream(events=60)
+        serial = replay_serial(
+            build_replay_tuner(build_small_catalog(), make_config()), stream
+        )
+        path = write_throughput_report(
+            tmp_path / "BENCH_throughput.json",
+            [serial],
+            meta={"cpu_cores": 1},
+        )
+        proc = subprocess.run(
+            [sys.executable, "tools/check_throughput.py", str(path)],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "OK" in proc.stdout

@@ -1,0 +1,240 @@
+"""Multiprocess fleet tests: serial parity, crash handling, validation.
+
+The headline invariant (ISSUE: parity satellite): running
+``FleetCoordinator(..., workers=N)`` routes every arrival parent-side
+and ships each replica its own serial-order event sequence, so every
+per-replica epoch decision -- and therefore the final index
+configuration -- is **bit-identical** to the single-process
+coordinator's.  The crash tests pin the regression fix: a worker
+hard-killed mid-epoch trips its breaker and is drained at the next
+boundary instead of deadlocking the coordinator.
+"""
+
+import json
+
+import pytest
+
+from repro.core.config import ColtConfig
+from repro.fleet import FleetCoordinator, WorkerCrash, WorkerFleetCoordinator
+from repro.fleet.replica import ReplicaHealth
+from repro.fleet.snapshots import restore_fleet, save_fleet
+
+from tests.fleet.workloads import (
+    build_small_catalog,
+    day_query,
+    eq_query,
+    score_query,
+)
+
+
+def mixed_queries(n):
+    makers = [eq_query, day_query, score_query]
+    return [makers[i % 3](8000 + i if i % 3 == 1 else i + 1) for i in range(n)]
+
+
+def make_config(**cfg):
+    cfg.setdefault("storage_budget_pages", 6000.0)
+    cfg.setdefault("min_history_epochs", 2)
+    return ColtConfig(**cfg)
+
+
+def make_worker_fleet(workers=2, policy="affinity", fleet_epoch_length=10,
+                      **kwargs):
+    return FleetCoordinator(
+        build_small_catalog,
+        config=make_config(),
+        policy=policy,
+        fleet_epoch_length=fleet_epoch_length,
+        workers=workers,
+        **kwargs,
+    )
+
+
+def make_serial_fleet(n=2, policy="affinity", fleet_epoch_length=10):
+    return FleetCoordinator(
+        build_small_catalog,
+        n_replicas=n,
+        config=make_config(),
+        policy=policy,
+        fleet_epoch_length=fleet_epoch_length,
+    )
+
+
+def outcome_key(fleet_outcome):
+    """The decision-relevant fields of one outcome (plans stay worker-side)."""
+    o = fleet_outcome.outcome
+    return (
+        fleet_outcome.index,
+        fleet_outcome.replica_id,
+        o.execution_cost,
+        o.whatif_calls,
+        o.build_cost,
+        o.total_cost,
+        o.failed,
+    )
+
+
+class TestParity:
+    """Multiprocess run is bit-identical to the serial coordinator."""
+
+    @pytest.mark.parametrize("policy", ["affinity", "round-robin"])
+    def test_bit_identical_decisions_and_configs(self, policy):
+        queries = mixed_queries(60)
+        serial = make_serial_fleet(n=2, policy=policy)
+        serial_run = serial.run(queries)
+        with make_worker_fleet(workers=2, policy=policy) as fleet:
+            worker_run = fleet.run(queries)
+
+            # Every per-query decision matches exactly: same routing,
+            # same costs, same what-if ledger.  No tolerance.
+            assert [outcome_key(o) for o in worker_run.outcomes] == [
+                outcome_key(o) for o in serial_run.outcomes
+            ]
+            assert worker_run.total_cost == serial_run.total_cost
+            assert worker_run.queries_per_replica == (
+                serial_run.queries_per_replica
+            )
+            assert len(worker_run.reorganizations) == len(
+                serial_run.reorganizations
+            )
+
+            # Final per-replica index configurations match by name.
+            assert [
+                sorted(h.materialized_names) for h in fleet.replicas
+            ] == [sorted(r.materialized_names) for r in serial.replicas]
+
+            # Full per-epoch decision traces are identical JSON.
+            worker_traces = fleet.replica_traces()
+            serial_traces = [
+                json.loads(r.trace().to_json()) for r in serial.replicas
+            ]
+            assert worker_traces == serial_traces
+
+    def test_client_ids_route_identically(self):
+        queries = [eq_query(i + 1) for i in range(40)]
+        client_ids = [i % 2 for i in range(40)]
+        serial = make_serial_fleet(n=2, policy="client")
+        serial_run = serial.run(queries, client_ids=client_ids)
+        with make_worker_fleet(workers=2, policy="client") as fleet:
+            worker_run = fleet.run(queries, client_ids=client_ids)
+            assert [o.replica_id for o in worker_run.outcomes] == [
+                o.replica_id for o in serial_run.outcomes
+            ]
+            assert worker_run.total_cost == serial_run.total_cost
+
+    def test_latency_summary_merges_worker_histograms(self):
+        with make_worker_fleet(workers=2) as fleet:
+            fleet.run(mixed_queries(30))
+            summary = fleet.latency_summary()
+            assert summary["count"] == 30
+            assert summary["p50"] is not None
+            assert summary["p50"] <= summary["p95"] <= summary["p99"]
+
+    def test_snapshot_roundtrip_restores_serial_fleet(self, tmp_path):
+        queries = mixed_queries(40)
+        with make_worker_fleet(workers=2) as fleet:
+            fleet.run(queries)
+            save_fleet(tmp_path, fleet)
+            expected = [sorted(h.materialized_names) for h in fleet.replicas]
+        restored = restore_fleet(tmp_path, build_small_catalog)
+        assert not getattr(restored, "is_multiprocess", False)
+        assert [
+            sorted(r.materialized_names) for r in restored.replicas
+        ] == expected
+
+
+class TestCrashHandling:
+    """A worker killed mid-epoch must drain, not deadlock (regression)."""
+
+    def test_crash_mid_epoch_skip_mode_drains_and_continues(self):
+        # round-robin so both replicas receive queries; affinity can
+        # starve the crashing replica and never exercise the kill.
+        with make_worker_fleet(
+            workers=2, policy="round-robin", _crash_plan={1: 5}
+        ) as fleet:
+            run = fleet.run(mixed_queries(40), on_error="skip")
+
+            # The run completed (no deadlock) and accounted for every
+            # arrival; the crashed worker's unacknowledged chunk came
+            # back as failed outcomes.
+            assert len(run.outcomes) == 40
+            assert run.failed_queries > 0
+            failed = [o for o in run.outcomes if o.outcome.failed]
+            assert {o.replica_id for o in failed} == {1}
+            assert all(
+                isinstance(o.outcome.error, WorkerCrash) for o in failed
+            )
+
+            # The crash tripped the handle's breaker: the replica reads
+            # as drained and the crash counter fired.
+            handle = fleet.replicas[1]
+            assert handle.crashed
+            assert handle.health is ReplicaHealth.DRAINED
+            assert fleet._m_crashes.value() >= 1
+
+            # After the drain boundary, arrivals are reassigned to the
+            # surviving replica instead of the dead one.
+            drains = [r for r in run.reorganizations if 1 in r.drained_total]
+            assert drains
+            boundary = next(
+                i for i, o in enumerate(run.outcomes) if o.reorganization
+                and 1 in o.reorganization.drained_total
+            )
+            tail = run.outcomes[boundary + 1:]
+            assert tail
+            assert all(o.replica_id == 0 for o in tail)
+            assert all(not o.outcome.failed for o in tail)
+
+    def test_crash_mid_epoch_raise_mode_surfaces_worker_crash(self):
+        with make_worker_fleet(
+            workers=2, policy="round-robin", _crash_plan={1: 5}
+        ) as fleet:
+            with pytest.raises(WorkerCrash):
+                fleet.run(mixed_queries(40), on_error="raise")
+
+    def test_snapshot_of_crashed_fleet_refuses_partial_manifest(self):
+        with make_worker_fleet(
+            workers=2, policy="round-robin", _crash_plan={1: 5}
+        ) as fleet:
+            fleet.run(mixed_queries(40), on_error="skip")
+            with pytest.raises(WorkerCrash):
+                fleet.replica_snapshots()
+
+
+class TestValidation:
+    def test_front_door_dispatches_to_worker_subclass(self):
+        with make_worker_fleet(workers=2) as fleet:
+            assert isinstance(fleet, WorkerFleetCoordinator)
+            assert fleet.is_multiprocess
+            assert len(fleet.replicas) == 2
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError):
+            WorkerFleetCoordinator(
+                build_small_catalog, config=make_config(), workers=0
+            )
+
+    def test_guardrails_rejected(self):
+        from repro.guardrails import GuardrailConfig
+
+        with pytest.raises(ValueError, match="guardrails"):
+            make_worker_fleet(workers=2, guardrails=GuardrailConfig())
+
+    def test_breakers_rejected(self):
+        with pytest.raises(ValueError, match="breaker"):
+            make_worker_fleet(workers=2, breakers=[None, None])
+
+    def test_cost_policy_rejected(self):
+        with pytest.raises(ValueError, match="cost"):
+            make_worker_fleet(workers=2, policy="cost")
+
+    def test_process_query_not_supported(self):
+        with make_worker_fleet(workers=2) as fleet:
+            with pytest.raises(NotImplementedError):
+                fleet.process_query(eq_query(1))
+
+    def test_close_is_idempotent(self):
+        fleet = make_worker_fleet(workers=2)
+        fleet.run(mixed_queries(10))
+        fleet.close()
+        fleet.close()

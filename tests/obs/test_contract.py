@@ -21,6 +21,7 @@ from repro.obs.names import (
     GAINCACHE_METRICS,
     GUARDRAIL_METRICS,
     PROFILER_METRICS,
+    REPLAY_METRICS,
     RESILIENCE_METRICS,
     SCHEDULER_METRICS,
     TUNER_METRICS,
@@ -46,6 +47,7 @@ class TestCatalogShape:
             **BANDIT_METRICS,
             **GUARDRAIL_METRICS,
             **BACKEND_METRICS,
+            **REPLAY_METRICS,
         }
         assert CATALOG == union
 
