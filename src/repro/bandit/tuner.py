@@ -53,6 +53,7 @@ from repro.engine.index import IndexDef
 from repro.engine.storage import PhysicalStore
 from repro.executor.executor import execute
 from repro.executor.instrument import CountingStore
+from repro.guardrails.synthesis import synthesize_constraints
 from repro.guardrails.verify import observed_cost
 from repro.obs.dashboard import OverheadDashboard
 from repro.obs.export import build_snapshot
@@ -223,8 +224,26 @@ class BanditTuner:
         self.guardrails = guardrails
         if guardrails is not None:
             guardrails.attach(self)
+        # Advisory soft preferences pushed down by an external adviser
+        # (the fleet co-tuning controller); merged with guardrail
+        # constraints at each epoch boundary, pins/bans winning.
+        self._advisory: Tuple = ()
 
     # ------------------------------------------------------------------
+    def set_advisory(self, preferred) -> None:
+        """Install advisory ``(IndexDef, weight)`` soft preferences.
+
+        Mirrors ``ColtTuner.set_advisory``: the fleet's co-tuning loop
+        biases this replica's super-arm knapsack toward its workload
+        partition, and the partition footprint is seeded into the
+        candidate tracker so it can enter the arm pool.  An empty
+        sequence clears stale advice.
+        """
+        self._advisory = tuple(
+            sorted(preferred, key=lambda kv: str(kv[0]))
+        )
+        self.profiler.candidates.seed(ix for ix, _ in self._advisory)
+
     @property
     def materialized_set(self) -> List[IndexDef]:
         """The current materialized set ``M``."""
@@ -515,6 +534,13 @@ class BanditTuner:
         if self.guardrails is not None:
             decisions = self.guardrails.end_epoch(self.materialized)
             constraints = self.guardrails.constraints()
+        # Advisory co-tuning preferences are soft and never override
+        # pins/bans; with no advisory installed this is a no-op, so the
+        # cotune-off path stays bit-identical.
+        constraints = (
+            synthesize_constraints(constraints, self._advisory)
+            or SelectionConstraints()
+        )
 
         # 5. Select the super-arm under the storage budget.
         reorg = self._select(constraints, mean_cost)

@@ -237,6 +237,32 @@ class CandidateTracker:
         for key in dead:
             del self._stats[key]
 
+    def seed(self, indexes: Iterable[IndexDef]) -> int:
+        """Ensure tracker entries exist for externally suggested indexes.
+
+        Partition-aware seeding for the fleet's co-tuning loop: when a
+        workload partition migrates onto this replica, the partition's
+        index footprint is seeded into the pool so the profiler can
+        start crediting gains immediately instead of waiting for the
+        miner to rediscover it.  Seeding only creates the entry -- no
+        benefit is invented, so an unused seed decays out through the
+        normal stale-eviction window.  Indexes are inserted in sorted
+        order so the pool's tie-break order stays deterministic across
+        processes.
+
+        Returns:
+            The number of new entries created.
+        """
+        created = 0
+        for index in sorted(indexes, key=str):
+            key = (index.table, index.columns)
+            if key not in self._stats:
+                self._stats[key] = CandidateStats(
+                    index, self._history, self._smoothing
+                )
+                created += 1
+        return created
+
     def ranked(self, exclude: Iterable[IndexDef] = ()) -> List[CandidateStats]:
         """Candidates by descending smoothed benefit, minus exclusions."""
         excluded = {(ix.table, ix.columns) for ix in exclude}

@@ -21,6 +21,7 @@ from repro.core.self_organizer import ReorganizationResult, SelfOrganizer
 from repro.engine.catalog import Catalog
 from repro.engine.index import IndexDef
 from repro.engine.storage import PhysicalStore
+from repro.guardrails.synthesis import synthesize_constraints
 from repro.obs.dashboard import OverheadDashboard
 from repro.obs.export import build_snapshot
 from repro.obs.names import TUNER_METRICS
@@ -208,8 +209,26 @@ class ColtTuner:
         self.guardrails = guardrails
         if guardrails is not None:
             guardrails.attach(self)
+        # Advisory soft preferences pushed down by an external adviser
+        # (the fleet co-tuning controller); merged with guardrail
+        # constraints at each epoch boundary, pins/bans winning.
+        self._advisory: tuple = ()
 
     # ------------------------------------------------------------------
+    def set_advisory(self, preferred) -> None:
+        """Install advisory ``(IndexDef, weight)`` soft preferences.
+
+        Used by the fleet's co-tuning loop to bias this replica's
+        knapsack toward its workload partition.  The partition's
+        footprint is also seeded into the candidate tracker so the
+        profiler can credit it without waiting for the miner.  Passing
+        an empty sequence clears stale advice.
+        """
+        self._advisory = tuple(
+            sorted(preferred, key=lambda kv: str(kv[0]))
+        )
+        self.profiler.candidates.seed(ix for ix, _ in self._advisory)
+
     @property
     def materialized_set(self) -> List[IndexDef]:
         """The current materialized set ``M``."""
@@ -456,6 +475,10 @@ class ColtTuner:
             # banned index falls out of the selection and is dropped).
             decisions = self.guardrails.end_epoch(self.self_organizer.materialized)
             constraints = self.guardrails.constraints() or None
+        # Advisory co-tuning preferences are soft and never override
+        # pins/bans; with no advisory installed this is a no-op, so the
+        # cotune-off path stays bit-identical.
+        constraints = synthesize_constraints(constraints, self._advisory)
         reorg = self.self_organizer.end_epoch(
             report, self.profiler, inserts=inserts, constraints=constraints
         )

@@ -21,8 +21,13 @@ Components:
 * ``workers``     -- the multiprocess coordinator
   (``FleetCoordinator(..., workers=N)``): one worker process per
   replica, bit-identical decisions, crash-safe epoch barriers.
+* ``cotune``      -- divergent-design co-tuning
+  (``FleetCoordinator(..., cotune=True)``): partitions the query
+  stream by relevant-index signature, specializes each replica toward
+  its partition, and refines the routing map with budgeted what-if
+  probes until fleet cost converges.
 
-See ``docs/FLEET.md`` for the design discussion.
+See ``docs/FLEET.md`` and ``docs/COTUNE.md`` for the design discussion.
 """
 
 from repro.fleet.coordinator import (
@@ -30,6 +35,14 @@ from repro.fleet.coordinator import (
     FleetOutcome,
     FleetReorganizationResult,
     FleetRun,
+)
+from repro.fleet.cotune import (
+    CotuneConfig,
+    CotuneController,
+    CotuneReport,
+    assign_partitions,
+    partition_signature,
+    signature_label,
 )
 from repro.fleet.replica import ReplicaHealth, TunerReplica
 from repro.fleet.router import (
@@ -51,6 +64,9 @@ from repro.fleet.workers import WorkerCrash, WorkerFleetCoordinator
 __all__ = [
     "AffinityRouter",
     "CostBasedRouter",
+    "CotuneConfig",
+    "CotuneController",
+    "CotuneReport",
     "FLEET_MANIFEST",
     "FleetCoordinator",
     "FleetOutcome",
@@ -62,9 +78,12 @@ __all__ = [
     "TunerReplica",
     "WorkerCrash",
     "WorkerFleetCoordinator",
+    "assign_partitions",
     "load_manifest",
     "make_router",
+    "partition_signature",
     "restore_fleet",
     "save_fleet",
+    "signature_label",
     "snapshot_fleet",
 ]

@@ -29,6 +29,12 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 from repro.core.colt import QueryOutcome
 from repro.core.config import ColtConfig
 from repro.engine.catalog import Catalog
+from repro.fleet.cotune import (
+    CotuneConfig,
+    CotuneController,
+    CotuneReport,
+    resolve_advisory,
+)
 from repro.fleet.replica import ReplicaHealth, ReplicaStats, TunerReplica
 from repro.guardrails.advice import AdviceBook
 from repro.guardrails.manager import GuardrailConfig, GuardrailManager
@@ -36,6 +42,7 @@ from repro.guardrails.rollout import RolloutController, RolloutSummary
 from repro.obs.export import build_snapshot
 from repro.obs.names import (
     BANDIT_METRICS,
+    COTUNE_METRICS,
     FLEET_METRICS,
     GUARDRAIL_METRICS,
     PROFILER_METRICS,
@@ -103,6 +110,8 @@ class FleetReorganizationResult:
         replicas: Per-replica status lines.
         rollout: What the staged-rollout pass did at this boundary
             (None when the fleet runs without guardrails).
+        cotune: What the co-tuning pass did at this boundary (None when
+            the fleet runs without co-tuning).
     """
 
     epoch: int
@@ -115,6 +124,7 @@ class FleetReorganizationResult:
     divergence: float
     replicas: List[ReplicaStatus]
     rollout: Optional[RolloutSummary] = None
+    cotune: Optional[CotuneReport] = None
 
 
 @dataclasses.dataclass
@@ -223,6 +233,12 @@ class FleetCoordinator:
         backend_factory: Optional callable ``catalog -> Backend``
             giving each replica its DBMS backend (defaults to the local
             in-python engine).
+        cotune: Enables divergent-design co-tuning (see
+            :mod:`repro.fleet.cotune`): truthy turns the
+            partition-specialize-route loop on, a
+            :class:`~repro.fleet.cotune.CotuneConfig` additionally
+            supplies its knobs.  Off (the default) leaves the fleet
+            bit-identical to a coordinator without the feature.
         workers: When positive, replicas run in that many worker
             *processes* instead of in-process: construction returns a
             :class:`~repro.fleet.workers.WorkerFleetCoordinator` (same
@@ -264,6 +280,7 @@ class FleetCoordinator:
         advice: Optional[AdviceBook] = None,
         engine: str = "colt",
         backend_factory=None,
+        cotune: Union[bool, CotuneConfig, None] = None,
         workers: int = 0,
     ) -> None:
         if workers:
@@ -323,6 +340,16 @@ class FleetCoordinator:
         )
         if isinstance(self.router, CostBasedRouter):
             self.router.bind(self.replicas)
+        self.cotune: Optional[CotuneController] = None
+        if cotune:
+            self.cotune = CotuneController(
+                n_replicas,
+                self._routing_catalog,
+                config=cotune if isinstance(cotune, CotuneConfig) else None,
+                whatif_call_cost=self.config.whatif_call_cost,
+            )
+        self._cotune_epoch_cost = 0.0
+        self._cotune_epoch_queries = 0
         self.queries_routed = 0
         self.reorganizations: List[FleetReorganizationResult] = []
         self._init_observability()
@@ -337,12 +364,15 @@ class FleetCoordinator:
         fleet_epoch_length: int = 50,
         probe_budget: int = DEFAULT_PROBE_BUDGET,
         rollout: Optional[RolloutController] = None,
+        cotune: Optional[CotuneController] = None,
     ) -> "FleetCoordinator":
         """Build a coordinator around pre-existing replicas.
 
         Used when restoring a fleet from snapshots: the replicas (and
         their tuners) already exist, so no catalogs are constructed.
-        ``rollout`` re-attaches a restored staged-rollout controller.
+        ``rollout`` re-attaches a restored staged-rollout controller,
+        ``cotune`` a restored co-tuning controller (resuming the
+        partition map mid-convergence).
         """
         coordinator = cls.__new__(cls)
         coordinator.engine = replicas[0].engine
@@ -356,6 +386,11 @@ class FleetCoordinator:
         )
         if isinstance(coordinator.router, CostBasedRouter):
             coordinator.router.bind(coordinator.replicas)
+        coordinator.cotune = cotune
+        if cotune is not None:
+            cotune.set_whatif_call_cost(coordinator.config.whatif_call_cost)
+        coordinator._cotune_epoch_cost = 0.0
+        coordinator._cotune_epoch_queries = 0
         coordinator.queries_routed = 0
         coordinator.reorganizations = []
         coordinator.registry = MetricsRegistry(
@@ -394,6 +429,26 @@ class FleetCoordinator:
             "fleet_canary_reassignments_total"
         ].build(self.registry)
         self._m_active_canaries = FLEET_METRICS["fleet_active_canaries"].build(
+            self.registry
+        )
+        self._m_cotune_sigs = COTUNE_METRICS["cotune_signatures"].build(self.registry)
+        self._m_cotune_parts = COTUNE_METRICS["cotune_partitions"].build(self.registry)
+        self._m_cotune_migrations = COTUNE_METRICS["cotune_migrations_total"].build(
+            self.registry
+        )
+        self._m_cotune_probes = COTUNE_METRICS["cotune_probes_total"].build(
+            self.registry
+        )
+        self._m_cotune_probe_cost = COTUNE_METRICS[
+            "cotune_probe_overhead_cost_total"
+        ].build(self.registry)
+        self._m_cotune_cost_delta = COTUNE_METRICS["cotune_fleet_cost_delta"].build(
+            self.registry
+        )
+        self._m_cotune_divergence = COTUNE_METRICS[
+            "cotune_divergence_objective"
+        ].build(self.registry)
+        self._m_cotune_converged = COTUNE_METRICS["cotune_converged"].build(
             self.registry
         )
         # Guardrail families are registered fleet-level regardless of
@@ -461,6 +516,25 @@ class FleetCoordinator:
             spans=merge_span_summaries(summaries),
         )
 
+    def _route(self, query: Query, client_id: Optional[int]):
+        """Routing front door: partition map first, base policy second.
+
+        With co-tuning enabled every arrival is offered to the
+        controller -- a pure dictionary lookup over the partition
+        assignment (never a probe).  Unpartitioned queries (empty
+        signature, unassigned signature, or a drained target) fall
+        through to the configured routing policy unchanged; with
+        co-tuning off this *is* the configured policy, bit for bit.
+        """
+        if self.cotune is not None:
+            choice = self.cotune.admit(query, self.router.drained)
+            if choice is not None:
+                return self.router.route_to(choice)
+            route = self.router.route(query, client_id)
+            self.cotune.note_fallback(query, route.replica_id)
+            return route
+        return self.router.route(query, client_id)
+
     def process_query(
         self,
         query: Query,
@@ -481,7 +555,7 @@ class FleetCoordinator:
             The fleet ledger record; when this arrival closes a fleet
             epoch it carries the boundary's reorganization report.
         """
-        route = self.router.route(query, client_id)
+        route = self._route(query, client_id)
         replica = self.replicas[route.replica_id]
         outcome = replica.process(query, on_error=on_error)
         # Drained replicas see no queries; advance their breaker clocks
@@ -491,6 +565,9 @@ class FleetCoordinator:
                 self.replicas[drained_id].idle_tick()
 
         self.queries_routed += 1
+        if self.cotune is not None:
+            self._cotune_epoch_cost += outcome.execution_cost
+            self._cotune_epoch_queries += 1
         routing_overhead = route.probes * self.config.whatif_call_cost
         self._m_routed.inc(1, replica=route.replica_id)
         self._m_probes.inc(route.probes)
@@ -498,6 +575,10 @@ class FleetCoordinator:
         reorg: Optional[FleetReorganizationResult] = None
         if self.queries_routed % self.fleet_epoch_length == 0:
             reorg = self.reorganize()
+            if reorg.cotune is not None:
+                # Refinement probes spent at the boundary are charged
+                # as routing overhead on the epoch-closing arrival.
+                routing_overhead += reorg.cotune.probe_cost
         return FleetOutcome(
             index=self.queries_routed - 1,
             replica_id=route.replica_id,
@@ -567,7 +648,24 @@ class FleetCoordinator:
                 if drained:
                     moved = self.router.reassign_from(drained)
                 rebalanced = self.router.rebalance()
-            if moved or rebalanced:
+            cotune_report: Optional[CotuneReport] = None
+            if self.cotune is not None:
+                # Partition reassignment rides the same boundary as
+                # drain/rebalance: the active set already excludes this
+                # boundary's drains, so orphaned partitions move here.
+                cotune_report = self._run_cotune(
+                    [
+                        r.replica_id
+                        for r in self.replicas
+                        if r.replica_id not in unhealthy
+                    ]
+                )
+            partition_moves = (
+                cotune_report.migrations + cotune_report.forced_moves
+                if cotune_report is not None
+                else 0
+            )
+            if moved or rebalanced or partition_moves:
                 # Moved affinity keys change which queries each replica
                 # profiles next; per-replica gain caches keyed on the
                 # old assignment mix are cleared rather than aged out.
@@ -594,6 +692,11 @@ class FleetCoordinator:
                 self._m_active_canaries.set(rollout_summary.active_canaries)
 
         divergence = self.configuration_divergence()
+        if self.cotune is not None:
+            # With co-tuning on, divergence is the steering objective
+            # rather than a passive report; mirror it under the cotune
+            # family so dashboards can track the loop in one place.
+            self._m_cotune_divergence.set(divergence)
         self._m_reorgs.inc()
         self._m_drains.inc(len(drained))
         self._m_restores.inc(len(restored))
@@ -624,9 +727,68 @@ class FleetCoordinator:
                 for r in self.replicas
             ],
             rollout=rollout_summary,
+            cotune=cotune_report,
         )
         self.reorganizations.append(result)
         return result
+
+    # ------------------------------------------------------------------
+    def _run_cotune(self, active: List[int]) -> CotuneReport:
+        """One co-tuning boundary: partition, refine, advise, account."""
+        epoch_cost = self._cotune_epoch_cost
+        epoch_queries = self._cotune_epoch_queries
+        self._cotune_epoch_cost = 0.0
+        self._cotune_epoch_queries = 0
+        report = self.cotune.end_epoch(
+            active=active,
+            cost_per_query=(
+                epoch_cost / epoch_queries if epoch_queries else 0.0
+            ),
+            epoch_queries=epoch_queries,
+            probe_costs=self._cotune_probe_costs,
+        )
+        self._cotune_advise(self.cotune.advisory_payloads())
+        self._m_cotune_sigs.set(report.signatures)
+        self._m_cotune_parts.set(report.partitions)
+        self._m_cotune_migrations.inc(report.migrations + report.forced_moves)
+        self._m_cotune_probes.inc(report.probes)
+        self._m_cotune_probe_cost.inc(report.probe_cost)
+        self._m_cotune_cost_delta.set(report.cost_delta)
+        self._m_cotune_converged.set(1 if report.converged else 0)
+        self._m_probes.inc(report.probes)
+        self._m_routing_cost.inc(report.probe_cost)
+        return report
+
+    def _cotune_probe_costs(
+        self, queries: List[Query], replica_ids: List[int]
+    ) -> Dict[int, List[float]]:
+        """Price representative queries on each replica (refinement).
+
+        The multiprocess coordinator overrides this with a batched
+        pipe round-trip; replicas never see a tuning-state mutation
+        either way (``probe_cost`` is the read-only what-if path).
+        """
+        return {
+            replica_id: [
+                self.replicas[replica_id].probe_cost(q) for q in queries
+            ]
+            for replica_id in replica_ids
+        }
+
+    def _cotune_advise(self, payloads: Dict[int, List]) -> None:
+        """Push per-replica partition advisories down to the tuners.
+
+        Payloads are in wire format (``(table, [columns], weight)``)
+        and resolved against each replica's own catalog so identity-
+        keyed tuner structures see that replica's ``IndexDef`` objects.
+        The multiprocess coordinator overrides this with an ``advise``
+        op at the chunk boundary -- the same point in every replica's
+        event sequence, preserving serial-order parity.
+        """
+        for replica_id in sorted(payloads):
+            replica = self.replicas[replica_id]
+            resolved = resolve_advisory(replica.catalog, payloads[replica_id])
+            replica.tuner.set_advisory(resolved)
 
     def configuration_divergence(self) -> float:
         """Mean pairwise Jaccard distance between materialized sets.

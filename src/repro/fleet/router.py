@@ -91,6 +91,14 @@ class Router:
         """Choose a replica for one arriving query."""
         raise NotImplementedError
 
+    def route_to(self, replica_id: int) -> Route:
+        """Commit an externally decided route (co-tuning partition map).
+
+        Bypasses the policy's own choice but still records load, so the
+        policy's balancing view of unpartitioned traffic stays honest.
+        """
+        return self._commit(replica_id)
+
     # ------------------------------------------------------------------
     def _least_loaded(self) -> int:
         active = self.active()
@@ -297,7 +305,12 @@ class CostBasedRouter(Router):
         if cached is not None and cached[1] == versions and cached[0] not in self.drained:
             return self._commit(cached[0])
 
-        active = self.active()
+        active = [i for i in range(self.n_replicas) if i not in self.drained]
+        if not active:
+            # The whole fleet is drained.  Degraded service still
+            # routes (least-loaded fallback), but a drained replica
+            # must never be probed -- route blind, spend nothing.
+            return self._commit(self._least_loaded())
         if self.probes_used + len(active) > self.probe_budget:
             # Budget exhausted: reuse the stale route if it is still
             # routable, otherwise balance blindly.

@@ -100,6 +100,11 @@ def snapshot_fleet(
             if coordinator.rollout is not None
             else {}
         ),
+        **(
+            {"cotune": coordinator.cotune.to_snapshot()}
+            if getattr(coordinator, "cotune", None) is not None
+            else {}
+        ),
     }
 
 
@@ -199,11 +204,23 @@ def restore_fleet(
         rollout = RolloutController.from_snapshot(
             manifest["rollout"], replicas[0].catalog
         )
+    routing_catalog = catalog_factory()
+    cotune = None
+    if "cotune" in manifest:
+        from repro.fleet.cotune import CotuneController
+
+        # The partition assignment (and convergence state) persists in
+        # the manifest, so a restored fleet resumes co-tuning
+        # mid-convergence instead of re-deriving the partition map.
+        cotune = CotuneController.from_snapshot(
+            manifest["cotune"], routing_catalog
+        )
     return FleetCoordinator.adopt(
         replicas,
-        routing_catalog=catalog_factory(),
+        routing_catalog=routing_catalog,
         policy=policy or str(manifest["policy"]),
         fleet_epoch_length=int(manifest["fleet_epoch_length"]),
         probe_budget=probe_budget,
         rollout=rollout,
+        cotune=cotune,
     )

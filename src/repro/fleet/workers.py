@@ -35,6 +35,14 @@ the ordinary drain path.  A crashed replica is never ticked -- a dead
 process cannot recover, so its breaker stays OPEN and the replica stays
 out of the rotation for good.
 
+Divergent-design co-tuning (``cotune=``, see :mod:`repro.fleet.cotune`)
+*is* supported: the controller lives entirely in the parent, partition
+routing is a dictionary lookup over the arrival stream, and the
+boundary-time refinement probes and partition advisories cross the pipe
+as chunk-aligned ``probe`` / ``advise`` ops -- the same point in every
+replica's event sequence where the serial coordinator acts, so
+serial-order parity holds with co-tuning on.
+
 Deliberately unsupported with workers (ValueError at construction):
 cost-based routing (probes replica state synchronously per arrival),
 guardrail managers/advice and staged rollout (verification hooks into
@@ -61,6 +69,7 @@ from repro.fleet.coordinator import (
     FleetReorganizationResult,
     FleetRun,
 )
+from repro.fleet.cotune import CotuneConfig, CotuneController, resolve_advisory
 from repro.fleet.replica import ReplicaHealth, ReplicaStats, TunerReplica
 from repro.fleet.router import (
     DEFAULT_PROBE_BUDGET,
@@ -207,6 +216,25 @@ def _worker_main(
                 conn.send(("ok", None, _status(replica)))
             elif op == "clear_cache":
                 replica.tuner.profiler.gain_cache.clear(reason=command[1])
+                conn.send(("ok", None, _status(replica)))
+            elif op == "probe":
+                # Read-only what-if pricing for co-tuning refinement;
+                # events reuse the batch encoding (interned keys, full
+                # AST only on a query's first crossing).
+                prices: List[float] = []
+                for event in command[1]:
+                    key, payload = event[1], event[2]
+                    if payload is not None:
+                        queries[key] = payload
+                    prices.append(replica.probe_cost(queries[key]))
+                conn.send(("ok", prices, _status(replica)))
+            elif op == "advise":
+                # Partition advisory in wire format; resolved against
+                # this replica's own catalog (identity-keyed tuner
+                # structures need its IndexDef objects).
+                replica.tuner.set_advisory(
+                    resolve_advisory(replica.catalog, command[1])
+                )
                 conn.send(("ok", None, _status(replica)))
             elif op == "latency":
                 conn.send(("ok", latency.samples(), _status(replica)))
@@ -461,6 +489,7 @@ class WorkerFleetCoordinator(FleetCoordinator):
         advice=None,
         engine: str = "colt",
         backend_factory=None,
+        cotune: Union[bool, CotuneConfig, None] = None,
         workers: int = 0,
         worker_timeout: float = 120.0,
         _crash_plan: Optional[Dict[int, int]] = None,
@@ -502,6 +531,19 @@ class WorkerFleetCoordinator(FleetCoordinator):
                 "cost-based routing probes replica state synchronously per "
                 "arrival and is not supported with worker processes"
             )
+        self.cotune: Optional[CotuneController] = None
+        if cotune:
+            # Co-tuning state lives entirely in the parent: routing is a
+            # lookup, and boundary probes/advisories travel as chunk-
+            # aligned worker ops, so serial-order parity is preserved.
+            self.cotune = CotuneController(
+                workers,
+                self._routing_catalog,
+                config=cotune if isinstance(cotune, CotuneConfig) else None,
+                whatif_call_cost=self.config.whatif_call_cost,
+            )
+        self._cotune_epoch_cost = 0.0
+        self._cotune_epoch_queries = 0
         ctx = _mp_context()
         self.replicas: List[WorkerHandle] = []
         crash_plan = _crash_plan or {}
@@ -622,7 +664,7 @@ class WorkerFleetCoordinator(FleetCoordinator):
         arrivals: List[Tuple[int, int]] = []  # (global index, replica id)
         drained = set(self.router.drained)
         for index, query, client_id in chunk:
-            route = self.router.route(query, client_id)
+            route = self._route(query, client_id)
             events[route.replica_id].append(
                 self.replicas[route.replica_id].encode_query(query)
             )
@@ -679,6 +721,9 @@ class WorkerFleetCoordinator(FleetCoordinator):
                 )
                 handle.stats.queries += 1
                 handle.stats.failed += 1
+            if self.cotune is not None:
+                self._cotune_epoch_cost += outcome.execution_cost
+                self._cotune_epoch_queries += 1
             fleet_outcomes.append(
                 FleetOutcome(
                     index=index,
@@ -692,6 +737,13 @@ class WorkerFleetCoordinator(FleetCoordinator):
             reorg = self.reorganize()
             if fleet_outcomes:
                 fleet_outcomes[-1].reorganization = reorg
+                if reorg.cotune is not None:
+                    # Refinement probes are charged as routing overhead
+                    # on the epoch-closing arrival, as in the serial
+                    # coordinator.
+                    fleet_outcomes[-1].routing_overhead += (
+                        reorg.cotune.probe_cost
+                    )
         return fleet_outcomes
 
     # ------------------------------------------------------------------
@@ -708,6 +760,48 @@ class WorkerFleetCoordinator(FleetCoordinator):
             if not handle.crashed:
                 handle.request(("status",))
         return super().reorganize()
+
+    def _cotune_probe_costs(
+        self, queries: List[Query], replica_ids: List[int]
+    ) -> Dict[int, List[float]]:
+        """Batched refinement probes: one ``probe`` op per replica.
+
+        Dispatch-all-then-collect, like chunk batches, so the workers
+        price their partitions concurrently.  Crashed or unresponsive
+        workers are simply omitted from the cost map -- the controller
+        treats missing replicas as unprobeable.
+        """
+        pending: List[WorkerHandle] = []
+        for replica_id in replica_ids:
+            handle = self.replicas[replica_id]
+            if handle.crashed:
+                continue
+            batch = [handle.encode_query(q) for q in queries]
+            if handle.send(("probe", batch)):
+                pending.append(handle)
+        costs: Dict[int, List[float]] = {}
+        for handle in pending:
+            payload = handle.receive()
+            if payload is not None:
+                costs[handle.replica_id] = list(payload)
+        return costs
+
+    def _cotune_advise(self, payloads: Dict[int, List]) -> None:
+        """Ship partition advisories as chunk-aligned ``advise`` ops.
+
+        The op lands between chunk batches -- the same point in each
+        replica's event sequence where the serial coordinator calls
+        ``set_advisory`` -- so decision parity is preserved.
+        """
+        pending: List[WorkerHandle] = []
+        for replica_id in sorted(payloads):
+            handle = self.replicas[replica_id]
+            if handle.crashed:
+                continue
+            if handle.send(("advise", payloads[replica_id])):
+                pending.append(handle)
+        for handle in pending:
+            handle.receive()
 
     # ------------------------------------------------------------------
     def replica_snapshots(self) -> List[Dict]:

@@ -1,0 +1,60 @@
+"""Constraint synthesis: merge advisory preferences into guardrails.
+
+The fleet's co-tuning loop (:mod:`repro.fleet.cotune`) specializes each
+replica by *advising* its tuner to prefer the index footprint of the
+partition routed to it.  Advice is soft -- it only contributes knapsack
+value multipliers -- and must never override the hard guardrail surface:
+DBA pins and bans, quarantine blocks, and rollout bans always win.  This
+module is the single place where the two are combined, so the precedence
+rule lives in exactly one function for both engines.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.core.knapsack import SelectionConstraints
+
+__all__ = ["synthesize_constraints"]
+
+
+def synthesize_constraints(
+    base: Optional[SelectionConstraints],
+    advisory: Sequence[Tuple[object, float]],
+) -> Optional[SelectionConstraints]:
+    """Fold advisory soft preferences into guardrail constraints.
+
+    Args:
+        base: The guardrail constraints in force (pins, bans, DBA
+            preferences), or None when no guardrails are attached.
+        advisory: ``(key, weight)`` soft preferences from an external
+            adviser (e.g. the co-tuning controller's partition
+            footprint).  Weights must be positive.
+
+    Returns:
+        ``base`` unchanged (possibly None) when the advisory is empty --
+        the caller's behaviour is provably identical with the feature
+        off.  Otherwise a merged :class:`SelectionConstraints` where:
+
+        * pins and bans are taken from ``base`` verbatim (hard
+          constraints are never synthesized here);
+        * advisory keys that are pinned or banned are dropped -- advice
+          must not double-count a pin or soften a ban;
+        * an explicit ``base`` preference on the same key wins over the
+          advisory weight (the DBA out-ranks the controller);
+        * the merged preferences are ordered by ``str(key)`` so the
+          result is deterministic across processes.
+    """
+    if not advisory:
+        return base
+    pinned = base.pinned if base is not None else frozenset()
+    banned = base.banned if base is not None else frozenset()
+    merged = dict(base.preferred) if base is not None else {}
+    for key, weight in advisory:
+        if key in pinned or key in banned:
+            continue
+        merged.setdefault(key, weight)
+    preferred = tuple(sorted(merged.items(), key=lambda kv: str(kv[0])))
+    return SelectionConstraints(
+        pinned=pinned, banned=banned, preferred=preferred
+    )

@@ -261,6 +261,54 @@ REPLAY_METRICS = _catalog(
     ),
 )
 
+#: Families emitted by the fleet co-tuning loop
+#: (:class:`~repro.fleet.cotune.CotuneController`).
+COTUNE_METRICS = _catalog(
+    MetricSpec(
+        "cotune_signatures",
+        "gauge",
+        "Partition signatures currently tracked by the co-tuning loop.",
+    ),
+    MetricSpec(
+        "cotune_partitions",
+        "gauge",
+        "Active replicas owning at least one partition signature.",
+    ),
+    MetricSpec(
+        "cotune_migrations_total",
+        "counter",
+        "Partition signatures moved between replicas (probe-refined "
+        "plus drain-forced).",
+    ),
+    MetricSpec(
+        "cotune_probes_total",
+        "counter",
+        "What-if probes spent on partition refinement at boundaries.",
+    ),
+    MetricSpec(
+        "cotune_probe_overhead_cost_total",
+        "counter",
+        "Cost units charged for co-tuning refinement probes.",
+    ),
+    MetricSpec(
+        "cotune_fleet_cost_delta",
+        "gauge",
+        "Relative fleet cost-per-query change at the last boundary "
+        "(negative is improvement).",
+    ),
+    MetricSpec(
+        "cotune_divergence_objective",
+        "gauge",
+        "Configuration divergence treated as the co-tuning steering "
+        "signal (mean pairwise Jaccard distance).",
+    ),
+    MetricSpec(
+        "cotune_converged",
+        "gauge",
+        "Whether partition refinement is frozen (1) or active (0).",
+    ),
+)
+
 #: Every stable family, by name -- the contract the export must honour.
 CATALOG: Dict[str, MetricSpec] = {
     **TUNER_METRICS,
@@ -273,4 +321,5 @@ CATALOG: Dict[str, MetricSpec] = {
     **GUARDRAIL_METRICS,
     **BACKEND_METRICS,
     **REPLAY_METRICS,
+    **COTUNE_METRICS,
 }

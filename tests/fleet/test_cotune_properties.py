@@ -1,0 +1,312 @@
+"""Property tests for the co-tuning partitioner (hypothesis).
+
+Partition routing only composes with the multiprocess fleet because
+:func:`repro.fleet.cotune.assign_partitions` is pure and deterministic:
+the map may depend on the *aggregated* epoch weights, never on arrival
+order within an epoch, dict iteration order, or the interpreter's hash
+seed.  These properties let hypothesis hunt for an ordering, weighting,
+or drain pattern that breaks the contract, instead of trusting a few
+hand-picked cases:
+
+* within-epoch **permutation invariance** -- admitting the same queries
+  in any order yields the same partition map at the boundary;
+* **cross-process determinism** -- a subprocess with a different
+  ``PYTHONHASHSEED`` computes the identical assignment;
+* **no active replica starves** while there are signatures to go
+  around;
+* **reassignment is a permutation** -- every signature appears exactly
+  once, always on an active replica.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fleet.cotune import (
+    CotuneConfig,
+    CotuneController,
+    assign_partitions,
+    partition_signature,
+    signature_label,
+)
+
+from tests.fleet.workloads import (
+    build_small_catalog,
+    day_query,
+    eq_query,
+    score_query,
+)
+
+# The (table, column) pool signatures draw from.  Small on purpose:
+# overlapping footprints are what stress the Jaccard placement.
+_PAIRS = [
+    ("events", "user_id"),
+    ("events", "amount"),
+    ("events", "day"),
+    ("users", "user_id"),
+    ("users", "score"),
+]
+
+signatures = st.frozensets(st.sampled_from(_PAIRS), min_size=1, max_size=4)
+
+
+@st.composite
+def partition_inputs(draw):
+    """Weights, a previous assignment, and an active replica set."""
+    n_replicas = draw(st.integers(1, 5))
+    sigs = draw(st.lists(signatures, min_size=1, max_size=8, unique=True))
+    weights = {
+        sig: draw(
+            st.floats(0.001, 1e6, allow_nan=False, allow_infinity=False)
+        )
+        for sig in sigs
+    }
+    # `previous` may reference replicas that have since drained (ids
+    # outside `active`) and signatures that have since been evicted.
+    previous = {
+        sig: draw(st.integers(0, n_replicas))
+        for sig in sigs
+        if draw(st.booleans())
+    }
+    active = draw(
+        st.lists(
+            st.integers(0, n_replicas - 1),
+            min_size=1,
+            max_size=n_replicas,
+            unique=True,
+        )
+    )
+    return weights, previous, active
+
+
+class TestAssignPartitions:
+    @given(partition_inputs())
+    @settings(max_examples=200, deadline=None)
+    def test_reassignment_is_a_permutation(self, drawn):
+        weights, previous, active = drawn
+        assignment = assign_partitions(weights, previous, active)
+        # Every input signature appears exactly once ...
+        assert set(assignment) == set(weights)
+        # ... on an active replica.
+        assert set(assignment.values()) <= set(active)
+
+    @given(partition_inputs())
+    @settings(max_examples=200, deadline=None)
+    def test_no_active_replica_starves(self, drawn):
+        weights, previous, active = drawn
+        assignment = assign_partitions(weights, previous, active)
+        if len(weights) >= len(set(active)):
+            owned = set(assignment.values())
+            assert owned == set(active)
+
+    @given(partition_inputs())
+    @settings(max_examples=200, deadline=None)
+    def test_sticky_when_no_fill_needed(self, drawn):
+        """Previously placed signatures stay put unless orphaned.
+
+        The forced fill may move a signature off an overloaded replica,
+        but only toward a replica that would otherwise starve -- so
+        when every active replica already owns a previous signature,
+        stickiness is absolute.
+        """
+        weights, previous, active = drawn
+        assignment = assign_partitions(weights, previous, active)
+        kept_homes = {
+            previous[sig]
+            for sig in weights
+            if sig in previous and previous[sig] in set(active)
+        }
+        if kept_homes == set(active):
+            for sig in weights:
+                if sig in previous and previous[sig] in set(active):
+                    assert assignment[sig] == previous[sig]
+
+    @given(partition_inputs())
+    @settings(max_examples=100, deadline=None)
+    def test_dict_order_is_irrelevant(self, drawn):
+        """Reversing dict insertion order cannot change the output."""
+        weights, previous, active = drawn
+        forward = assign_partitions(weights, previous, active)
+        backward = assign_partitions(
+            dict(reversed(list(weights.items()))),
+            dict(reversed(list(previous.items()))),
+            list(reversed(active)),
+        )
+        assert forward == backward
+
+
+def _drive_controller(queries, active):
+    """Admit `queries` as one epoch and close it; return the label map."""
+    controller = CotuneController(
+        max(active) + 1, build_small_catalog()
+    )
+    for query in queries:
+        controller.admit(query, drained=())
+    controller.end_epoch(
+        active=active,
+        cost_per_query=100.0,
+        epoch_queries=len(queries),
+        # Refinement needs >1 active replica AND representatives; an
+        # empty price map means "nothing probed" and nothing migrates.
+        probe_costs=lambda reps, ids: {},
+    )
+    return {
+        signature_label(sig): replica
+        for sig, replica in controller.assignment.items()
+    }
+
+
+@st.composite
+def query_stream(draw):
+    picks = draw(
+        st.lists(
+            st.tuples(st.integers(0, 2), st.integers(1, 50)),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    makers = (eq_query, day_query, score_query)
+    return [makers[kind](value) for kind, value in picks]
+
+
+class TestControllerInvariance:
+    @given(query_stream(), st.randoms(use_true_random=False))
+    @settings(max_examples=50, deadline=None)
+    def test_within_epoch_permutation_invariance(self, queries, rng):
+        """Arrival order within an epoch cannot change the partition map."""
+        shuffled = list(queries)
+        rng.shuffle(shuffled)
+        assert _drive_controller(queries, active=[0, 1, 2]) == (
+            _drive_controller(shuffled, active=[0, 1, 2])
+        )
+
+    @given(query_stream())
+    @settings(max_examples=25, deadline=None)
+    def test_signatures_restricted_to_catalog(self, queries):
+        catalog = build_small_catalog()
+        for query in queries:
+            sig = partition_signature(query, catalog)
+            for table, column in sig:
+                assert catalog.has_table(table)
+                assert catalog.table(table).has_column(column)
+                assert table in query.tables
+
+
+_SUBPROCESS_PROGRAM = """
+import json, sys
+from repro.fleet.cotune import assign_partitions
+
+weights_raw, previous_raw, active = json.load(sys.stdin)
+weights = {frozenset(map(tuple, pairs)): w for pairs, w in weights_raw}
+previous = {frozenset(map(tuple, pairs)): r for pairs, r in previous_raw}
+assignment = assign_partitions(weights, previous, active)
+out = sorted(
+    (sorted(map(list, sig)), replica) for sig, replica in assignment.items()
+)
+json.dump(out, sys.stdout)
+"""
+
+
+class TestCrossProcessDeterminism:
+    @given(partition_inputs(), st.integers(0, 2**32 - 1))
+    @settings(max_examples=8, deadline=None)
+    def test_assignment_survives_hash_seed_change(self, drawn, hash_seed):
+        """A subprocess under another PYTHONHASHSEED agrees exactly.
+
+        This is the property the worker fleet's serial-order parity
+        rests on: partition maps computed in different interpreter
+        processes (different hash randomization) must be identical.
+        """
+        weights, previous, active = drawn
+        payload = json.dumps(
+            [
+                [
+                    [sorted(map(list, sig)), w]
+                    for sig, w in sorted(
+                        weights.items(), key=lambda kv: sorted(kv[0])
+                    )
+                ],
+                [
+                    [sorted(map(list, sig)), r]
+                    for sig, r in sorted(
+                        previous.items(), key=lambda kv: sorted(kv[0])
+                    )
+                ],
+                active,
+            ]
+        )
+        env = dict(os.environ, PYTHONHASHSEED=str(hash_seed))
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (env.get("PYTHONPATH"), "src") if p
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", _SUBPROCESS_PROGRAM],
+            input=payload,
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        local = assign_partitions(weights, previous, active)
+        expected = sorted(
+            [sorted(map(list, sig)), replica]
+            for sig, replica in local.items()
+        )
+        # json round-trip normalizes tuples to lists on both sides.
+        assert json.loads(result.stdout) == json.loads(
+            json.dumps(expected)
+        )
+
+
+class TestConfigValidation:
+    def test_rejects_bad_knobs(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            CotuneConfig(hysteresis=1.0)
+        with pytest.raises(ValueError):
+            CotuneConfig(hysteresis=-0.1)
+        with pytest.raises(ValueError):
+            CotuneConfig(probe_budget=0)
+        with pytest.raises(ValueError):
+            CotuneConfig(min_probe_budget=0)
+        with pytest.raises(ValueError):
+            CotuneConfig(probe_budget=4, min_probe_budget=5)
+        with pytest.raises(ValueError):
+            CotuneConfig(patience=0)
+        with pytest.raises(ValueError):
+            CotuneConfig(preference_weight=0.0)
+        with pytest.raises(ValueError):
+            CotuneConfig(decay=1.0)
+
+    def test_round_trips_through_dict(self):
+        config = CotuneConfig(hysteresis=0.2, patience=5, decay=0.25)
+        assert CotuneConfig.from_dict(config.to_dict()) == config
+
+
+class TestSnapshotRoundTrip:
+    def test_controller_round_trips(self):
+        controller = CotuneController(3, build_small_catalog())
+        for value in range(1, 8):
+            controller.admit(eq_query(value), drained=())
+            controller.admit(day_query(value * 100), drained=())
+        controller.end_epoch(
+            active=[0, 1, 2],
+            cost_per_query=42.0,
+            epoch_queries=14,
+            probe_costs=lambda reps, ids: {},
+        )
+        snap = json.loads(json.dumps(controller.to_snapshot()))
+        restored = CotuneController.from_snapshot(
+            snap, build_small_catalog()
+        )
+        assert restored.assignment == controller.assignment
+        assert restored.weights == controller.weights
+        assert restored.probe_budget == controller.probe_budget
+        assert restored.converged == controller.converged
+        assert restored.epochs == controller.epochs
+        assert restored.history == controller.history

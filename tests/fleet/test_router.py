@@ -98,6 +98,21 @@ class TestAffinity:
             AffinityRouter(2, catalog, by="table")
 
 
+class ProbeCounter:
+    """Wrap a replica so every what-if probe against it is counted."""
+
+    def __init__(self, replica):
+        self._replica = replica
+        self.probes = 0
+
+    def __getattr__(self, name):
+        return getattr(self._replica, name)
+
+    def probe_cost(self, query):
+        self.probes += 1
+        return self._replica.probe_cost(query)
+
+
 def make_cost_fleet(n=2, probe_budget=30):
     catalog = build_small_catalog()
     replicas = [
@@ -157,6 +172,33 @@ class TestCostBased:
         assert route.probes == 0
         # The cached shape still routes consistently without probes.
         assert router.route(eq_query(2)).probes == 0
+
+    def test_drained_replica_never_probed_mid_epoch(self):
+        # Regression: a drain installed between roll_epoch boundaries
+        # must take effect immediately -- no probe may land on a
+        # drained replica while the epoch is still open.
+        router, replicas = make_cost_fleet(2)
+        counters = [ProbeCounter(r) for r in replicas]
+        router.bind(counters)
+        router.set_drained([1])
+        route = router.route(eq_query(1))
+        assert route.replica_id == 0
+        assert route.probes == 1
+        assert counters[1].probes == 0
+
+    def test_all_drained_routes_blind_without_probes(self):
+        # Regression: with the whole fleet drained the router used to
+        # fall back to probing every (drained) replica.  Degraded
+        # service still routes, but blind and probe-free.
+        router, replicas = make_cost_fleet(2)
+        counters = [ProbeCounter(r) for r in replicas]
+        router.bind(counters)
+        router.set_drained([0, 1])
+        route = router.route(eq_query(1))
+        assert route.replica_id in (0, 1)
+        assert route.probes == 0
+        assert router.probes_used == 0
+        assert all(c.probes == 0 for c in counters)
 
     def test_probe_budget_self_regulates(self):
         router, replicas = make_cost_fleet(2, probe_budget=40)

@@ -17,6 +17,7 @@ from repro.obs.names import (
     BACKEND_METRICS,
     BANDIT_METRICS,
     CATALOG,
+    COTUNE_METRICS,
     FLEET_METRICS,
     GAINCACHE_METRICS,
     GUARDRAIL_METRICS,
@@ -48,6 +49,7 @@ class TestCatalogShape:
             **GUARDRAIL_METRICS,
             **BACKEND_METRICS,
             **REPLAY_METRICS,
+            **COTUNE_METRICS,
         }
         assert CATALOG == union
 

@@ -1,0 +1,162 @@
+#!/usr/bin/env python
+"""CI gate: validate a ``BENCH_cotune.json`` co-tuning report.
+
+Structural checks (always enforced):
+
+* the report carries ``uniform``, ``cost`` and ``cotuned`` arms with
+  finite, positive execution and total costs;
+* the co-tuned arm actually co-tuned: it reports a ``cotune_state``
+  with at least one boundary, every replica owning a partition, and a
+  probe spend consistent with the charged routing overhead.
+
+Ratio gates:
+
+* ``cotuned`` execution cost must land below ``--max-exec-ratio``
+  (default 1.0) times the *better* passive baseline --
+  ``min(uniform, cost)`` -- i.e. steering divergence must beat both
+  merely spreading the stream and merely probing it.
+* The same bound applies to total cost (overheads included), so the
+  win cannot be bought with unaccounted probe spend.
+* ``cotuned`` configuration divergence must exceed the ``uniform``
+  arm's by at least ``--min-divergence-gain`` (default 0.05): the
+  cheaper fleet must be cheaper *because* its designs diverged.
+
+Usage:
+    python tools/check_cotune.py BENCH_cotune.json
+    python tools/check_cotune.py report.json --max-exec-ratio 0.95
+"""
+
+import argparse
+import json
+import math
+import sys
+
+REQUIRED_ARMS = ("uniform", "cost", "cotuned")
+COST_KEYS = ("execution_cost", "total_cost")
+
+
+def _fail(message):
+    print(f"FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def check_arm(name, arm):
+    """Finite positive costs and a sane divergence. Returns error or None."""
+    if not isinstance(arm, dict):
+        return f"arm {name!r} is not an object"
+    for key in COST_KEYS:
+        value = arm.get(key)
+        if not isinstance(value, (int, float)) or not math.isfinite(value):
+            return f"arm {name!r} {key} is not finite: {value!r}"
+        if value <= 0:
+            return f"arm {name!r} {key} is not positive: {value!r}"
+    if arm["total_cost"] < arm["execution_cost"]:
+        return (
+            f"arm {name!r} total cost {arm['total_cost']:,.0f} is below "
+            f"its execution cost {arm['execution_cost']:,.0f}"
+        )
+    divergence = arm.get("divergence")
+    if not isinstance(divergence, (int, float)) or not (
+        0.0 <= divergence <= 1.0
+    ):
+        return f"arm {name!r} divergence is not in [0, 1]: {divergence!r}"
+    return None
+
+
+def check_cotune_state(arm):
+    """The co-tuned arm must show real partition-specialize-route work."""
+    state = arm.get("cotune_state")
+    if not isinstance(state, dict):
+        return "cotuned arm carries no cotune_state"
+    if state.get("boundaries", 0) < 1:
+        return "cotuned arm closed no co-tuning boundaries"
+    replicas = arm.get("replicas", 0)
+    if state.get("partitions", 0) < replicas:
+        return (
+            f"only {state.get('partitions', 0)} of {replicas} replicas "
+            "own a partition (a replica sat idle under partition routing)"
+        )
+    if state.get("signatures", 0) < state.get("partitions", 0):
+        return "fewer signatures than partitions: report is inconsistent"
+    probe_cost = state.get("probe_cost", 0.0)
+    if probe_cost > arm.get("routing_overhead", 0.0) + 1e-9:
+        return (
+            f"probe cost {probe_cost:,.0f} exceeds the charged routing "
+            f"overhead {arm.get('routing_overhead', 0.0):,.0f} -- probe "
+            "spend is not being accounted"
+        )
+    return None
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", help="path to BENCH_cotune.json")
+    parser.add_argument(
+        "--max-exec-ratio",
+        type=float,
+        default=1.0,
+        help="maximum cotuned/min(baselines) cost ratio (default 1.0)",
+    )
+    parser.add_argument(
+        "--min-divergence-gain",
+        type=float,
+        default=0.05,
+        help="minimum divergence gain of cotuned over uniform "
+        "(default 0.05)",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.report) as handle:
+        report = json.load(handle)
+
+    arms = report.get("arms", {})
+    for name in REQUIRED_ARMS:
+        if name not in arms:
+            return _fail(f"report has no {name!r} arm")
+        error = check_arm(name, arms[name])
+        if error is not None:
+            return _fail(error)
+        print(
+            f"{name:>8}: exec {arms[name]['execution_cost']:>14,.0f}  "
+            f"total {arms[name]['total_cost']:>14,.0f}  "
+            f"divergence {arms[name]['divergence']:.2f}"
+        )
+
+    error = check_cotune_state(arms["cotuned"])
+    if error is not None:
+        return _fail(error)
+
+    status = 0
+    cotuned = arms["cotuned"]
+    for key in COST_KEYS:
+        floor = min(arms["uniform"][key], arms["cost"][key])
+        ratio = cotuned[key] / floor
+        print(
+            f"cotuned/min(baselines) {key}: {ratio:.3f}x "
+            f"(gate {args.max_exec_ratio:.2f}x)"
+        )
+        if ratio >= args.max_exec_ratio:
+            status = _fail(
+                f"cotuned {key} ratio {ratio:.3f}x is not below the "
+                f"{args.max_exec_ratio:.2f}x gate"
+            )
+
+    gain = cotuned["divergence"] - arms["uniform"]["divergence"]
+    print(
+        f"divergence gain over uniform: {gain:+.2f} "
+        f"(gate {args.min_divergence_gain:+.2f})"
+    )
+    if gain < args.min_divergence_gain:
+        status = _fail(
+            f"divergence gain {gain:+.2f} is below the "
+            f"{args.min_divergence_gain:+.2f} gate -- the cost win did "
+            "not come from divergent designs"
+        )
+
+    if status == 0:
+        print("OK: co-tuning report passes all gates")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())
